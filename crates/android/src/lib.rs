@@ -1,0 +1,43 @@
+//! # androne-android
+//!
+//! The Android Things environment of the AnDrone reproduction: the
+//! userspace half of the paper's device-container design (Sections
+//! 4.1–4.2, Table 1).
+//!
+//! - [`policy`]: device classes and the VDC policy hook consulted on
+//!   every permission check.
+//! - [`activity_manager`]: per-container ActivityManagers with
+//!   Android-style `checkPermission`.
+//! - [`services`]: the Table 1 device services (AudioFlinger,
+//!   CameraService, LocationManagerService, SensorService) running in
+//!   the device container against real hardware, with cross-container
+//!   permission routing.
+//! - [`system_server`]: boots Android instances (device services
+//!   enabled only in the device container).
+//! - [`app`]: installed apps and the activity-lifecycle save/restore
+//!   AnDrone uses to migrate virtual drones.
+//! - [`manifest`]: the AnDrone XML manifest (device permissions with
+//!   waypoint/continuous access types, user arguments).
+//! - [`native_bridge`]: the flight container's Binder HAL bridge to
+//!   the device container's GPS and sensors (paper Section 4.3).
+
+pub mod activity_manager;
+pub mod app;
+pub mod manifest;
+pub mod native_bridge;
+pub mod policy;
+pub mod services;
+pub mod system_server;
+
+pub use activity_manager::{
+    codes as am_codes, ActivityManager, PERMISSION_DENIED, PERMISSION_GRANTED,
+};
+pub use app::{AppRegistry, AppState, Bundle, InstalledApp};
+pub use manifest::{AccessType, AndroneManifest, ArgumentDecl, DevicePermission, ManifestError};
+pub use native_bridge::{BridgeGpsFix, BridgeImuSample, NativeHalBridge};
+pub use policy::{AllowAll, DenyAll, DeviceClass, DevicePolicy, PolicyRef};
+pub use services::{
+    codes as svc_codes, names as svc_names, read_stream_frames, sensor_types, AudioFlinger,
+    CameraService, LocationManagerService, SensorService,
+};
+pub use system_server::{boot_android_instance, AndroidInstance, BootError, SystemServerConfig};

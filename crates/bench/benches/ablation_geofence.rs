@@ -1,0 +1,149 @@
+//! Ablation A3: Geofence breach handling — AnDrone recovery vs the
+//! stock failsafe landing.
+//!
+//! Stock flight controllers respond to a geofence breach with a
+//! failsafe landing, which ends the flight: every other virtual
+//! drone on board loses its waypoint. AnDrone's augmented handling
+//! (notify → disable → guide back → loiter → return control) keeps
+//! the flight alive. This ablation runs the same two-tenant flight
+//! under both policies and compares how many tenants get served.
+
+use androne::flight::VfcState;
+use androne::hal::GeoPoint;
+use androne::mavlink::{deg_to_e7, FlightMode, Message};
+use androne::planner::PILOT_CLIENT;
+use androne::simkern::SimDuration;
+use androne::vdc::{VirtualDroneSpec, WaypointSpec};
+use androne::Drone;
+use androne_bench::banner;
+
+fn deploy(drone: &mut Drone, name: &str, base: &GeoPoint, north: f64, east: f64, radius: f64) {
+    let p = base.offset_m(north, east, 15.0);
+    drone
+        .deploy_vdrone(
+            name,
+            VirtualDroneSpec {
+                waypoints: vec![WaypointSpec {
+                    latitude: p.latitude,
+                    longitude: p.longitude,
+                    altitude: 15.0,
+                    max_radius: radius,
+                }],
+                max_duration: 120.0,
+                energy_allotted: 40_000.0,
+                continuous_devices: vec![],
+                waypoint_devices: vec!["flight-control".into()],
+                apps: vec![],
+                app_args: Default::default(),
+            },
+            &[],
+        )
+        .expect("deploy");
+}
+
+/// Runs the scenario; `androne_recovery` selects the breach policy.
+/// Returns (tenants served, flight continued).
+fn run(androne_recovery: bool, seed: u64) -> (usize, bool) {
+    let base = GeoPoint::new(43.6084298, -85.8110359, 0.0);
+    let mut drone = Drone::boot(base, seed).expect("boot");
+    deploy(&mut drone, "vd-a", &base, 50.0, 0.0, 30.0);
+    deploy(&mut drone, "vd-b", &base, 50.0, 80.0, 30.0);
+
+    // Fly to tenant A's waypoint; hand over control.
+    assert!(drone.sitl.arm_and_takeoff(15.0, SimDuration::from_secs(30)));
+    let wp_a = base.offset_m(50.0, 0.0, 15.0);
+    assert!(drone.sitl.goto(wp_a, 5.0, 2.0, SimDuration::from_secs(60)));
+    drone.vdc.borrow_mut().on_waypoint_arrived("vd-a", 0);
+    drone.proxy.activate_vfc("vd-a");
+    let mut served = 0;
+
+    // Tenant A breaches (pushed out through the planner path).
+    let outside = base.offset_m(120.0, 0.0, 15.0);
+    drone.proxy.client_send(
+        PILOT_CLIENT,
+        Message::SetPositionTargetGlobalInt {
+            lat: deg_to_e7(outside.latitude),
+            lon: deg_to_e7(outside.longitude),
+            alt: 15.0,
+            speed: 6.0,
+        },
+        &mut drone.sitl,
+    );
+
+    if androne_recovery {
+        // AnDrone: the proxy handles the breach in-flight.
+        for _ in 0..(50.0 * 400.0) as u64 {
+            drone.proxy.step(&mut drone.sitl);
+        }
+        if drone.proxy.vfc("vd-a").map(|v| v.state()) == Some(VfcState::Active) {
+            served += 1; // Tenant A got control back.
+        }
+        // The flight continues to tenant B.
+        drone.vdc.borrow_mut().on_waypoint_departed("vd-a", 0);
+        let pos = drone.sitl.position();
+        drone.proxy.finish_vfc("vd-a", pos);
+        drone.proxy.client_send(
+            PILOT_CLIENT,
+            Message::SetMode {
+                mode: FlightMode::Guided,
+            },
+            &mut drone.sitl,
+        );
+        let wp_b = base.offset_m(50.0, 80.0, 15.0);
+        drone.proxy.client_send(
+            PILOT_CLIENT,
+            Message::SetPositionTargetGlobalInt {
+                lat: deg_to_e7(wp_b.latitude),
+                lon: deg_to_e7(wp_b.longitude),
+                alt: 15.0,
+                speed: 5.0,
+            },
+            &mut drone.sitl,
+        );
+        for _ in 0..(40.0 * 400.0) as u64 {
+            drone.proxy.step(&mut drone.sitl);
+            if drone.sitl.position().distance_m(&wp_b) < 2.5 {
+                served += 1; // Tenant B reached.
+                break;
+            }
+        }
+        (served, true)
+    } else {
+        // Stock policy: a breach triggers a failsafe landing where
+        // the drone is; the flight ends for everyone.
+        let fence = drone.proxy.vfc("vd-a").unwrap().geofence;
+        for _ in 0..(60.0 * 400.0) as u64 {
+            drone.sitl.step();
+            if !fence.contains(&drone.sitl.position()) {
+                drone.sitl.handle_message(&Message::CommandLong {
+                    command: androne::mavlink::MavCmd::NavLand,
+                    params: [0.0; 7],
+                });
+                break;
+            }
+        }
+        drone.sitl.run_for(SimDuration::from_secs(40));
+        // Nobody else gets served; tenant A's session is over too.
+        (served, !drone.sitl.on_ground())
+    }
+}
+
+fn main() {
+    banner(
+        "Ablation A3",
+        "Geofence breach: AnDrone recovery vs stock failsafe landing",
+    );
+    let (served_androne, continued_androne) = run(true, 301);
+    let (served_stock, continued_stock) = run(false, 302);
+    println!("policy              tenants served   flight continues");
+    println!("AnDrone recovery    {served_androne:>14}   {continued_androne}");
+    println!("stock failsafe      {served_stock:>14}   {continued_stock}");
+    assert_eq!(served_androne, 2, "both tenants served under AnDrone");
+    assert!(continued_androne);
+    assert_eq!(served_stock, 0, "failsafe strands every tenant");
+    assert!(!continued_stock, "stock flight ends on the spot");
+    println!(
+        "\nconclusion: AnDrone's recovery preserves the multi-tenant flight; a\n\
+         stock failsafe landing would end it at the first tenant's mistake."
+    );
+}

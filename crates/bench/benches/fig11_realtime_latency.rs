@@ -1,0 +1,114 @@
+//! Figure 11: Real-time latency.
+//!
+//! cyclictest (memory locked, top FIFO priority) under three load
+//! scenarios — idle, PassMark in a virtual drone + iperf in another,
+//! and stress+iperf natively — on the PREEMPT and PREEMPT_RT
+//! kernels. The paper runs 100 million loops; set
+//! `ANDRONE_BENCH_SCALE` to trade samples for runtime (default here:
+//! 10 million loops, which preserves the tail shape).
+//!
+//! Paper: PREEMPT avg/max = 17/1,307, 44/14,513, 162/17,819 µs;
+//! PREEMPT_RT avg/max = 10/103, 12/382, 16/340 µs. ArduPilot's fast
+//! loop needs < 2,500 µs.
+
+use androne::simkern::latency::profiles;
+use androne::simkern::{ContainerId, InterferenceSource, Kernel, KernelConfig};
+use androne::workloads::{run_cyclictest, ARDUPILOT_DEADLINE_US};
+use androne_bench::{banner, scale};
+
+struct Scenario {
+    name: &'static str,
+    loads: Vec<InterferenceSource>,
+    paper_preempt: (f64, f64),
+    paper_rt: (f64, f64),
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "Idle",
+            loads: vec![],
+            paper_preempt: (17.0, 1_307.0),
+            paper_rt: (10.0, 103.0),
+        },
+        Scenario {
+            name: "PassMark",
+            loads: vec![profiles::passmark_load(), profiles::iperf_load()],
+            paper_preempt: (44.0, 14_513.0),
+            paper_rt: (12.0, 382.0),
+        },
+        Scenario {
+            name: "Stress",
+            loads: vec![profiles::stress_load()],
+            paper_preempt: (162.0, 17_819.0),
+            paper_rt: (16.0, 340.0),
+        },
+    ]
+}
+
+fn main() {
+    banner("Figure 11", "cyclictest wakeup latency (µs)");
+    let loops = 10_000_000 / scale();
+    println!("loops per scenario: {loops}\n");
+    println!(
+        "{:<12} {:<10} {:>8} {:>8}   {:>8} {:>8}  {:>10}",
+        "kernel", "scenario", "avg", "max", "p.avg", "p.max", "misses"
+    );
+
+    let mut rt_max_overall = 0.0f64;
+    let mut preempt_missed = false;
+    for (config, label) in [
+        (KernelConfig::NAVIO2_DEFAULT, "PREEMPT"),
+        (KernelConfig::ANDRONE_DEFAULT, "PREEMPT_RT"),
+    ] {
+        for sc in scenarios() {
+            let mut kernel = Kernel::boot(config, 611);
+            for load in &sc.loads {
+                kernel.add_interference(load.clone());
+            }
+            let r = run_cyclictest(&mut kernel, ContainerId(2), loops);
+            let (p_avg, p_max) = if label == "PREEMPT" {
+                sc.paper_preempt
+            } else {
+                sc.paper_rt
+            };
+            println!(
+                "{:<12} {:<10} {:>8.1} {:>8.0}   {:>8.1} {:>8.0}  {:>10}",
+                label,
+                sc.name,
+                r.avg_us(),
+                r.max_us(),
+                p_avg,
+                p_max,
+                r.deadline_misses
+            );
+            if label == "PREEMPT_RT" {
+                rt_max_overall = rt_max_overall.max(r.max_us());
+            } else if r.deadline_misses > 0 {
+                preempt_missed = true;
+            }
+
+            // Histogram (log buckets), the Figure 11 series.
+            if std::env::var("ANDRONE_BENCH_HISTOGRAMS").is_ok() {
+                for (bound, count) in r.histogram.buckets() {
+                    if count > 0 {
+                        println!("    <{bound:>9.1}us: {count}");
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        rt_max_overall < ARDUPILOT_DEADLINE_US,
+        "PREEMPT_RT must meet ArduPilot's 2500us fast loop everywhere"
+    );
+    assert!(
+        preempt_missed,
+        "PREEMPT should occasionally miss the deadline under load"
+    );
+    println!(
+        "\nshape checks passed: PREEMPT_RT max {rt_max_overall:.0}us < 2500us budget; \
+         PREEMPT misses under load (as in the paper)"
+    );
+}

@@ -1,0 +1,32 @@
+//! # androne-bench
+//!
+//! Experiment harnesses for the AnDrone reproduction. Each bench
+//! target regenerates one table or figure from the paper's
+//! evaluation (Section 6) and prints the measured series next to the
+//! paper's published values, so the *shape* comparison — who wins,
+//! by what factor, where crossovers fall — is immediate.
+//!
+//! Run all of them with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig11_realtime_latency`.
+
+/// Prints a banner for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n==========================================================");
+    println!("{id}: {title}");
+    println!("==========================================================");
+}
+
+/// Formats a measured-vs-paper comparison cell.
+pub fn cell(measured: f64, paper: f64) -> String {
+    format!("{measured:>8.2} (paper {paper:>8.2})")
+}
+
+/// Sample count scale factor: set `ANDRONE_BENCH_SCALE=10` for
+/// 10x faster (less precise) runs; the default is full fidelity.
+pub fn scale() -> u64 {
+    std::env::var("ANDRONE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}

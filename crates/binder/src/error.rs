@@ -1,0 +1,55 @@
+//! Binder error types.
+
+use std::fmt;
+
+use androne_simkern::Pid;
+
+/// Errors surfaced by the Binder driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinderError {
+    /// The calling process never opened the Binder device.
+    NotOpened(Pid),
+    /// The handle is not in the caller's handle table.
+    BadHandle(u32),
+    /// The referenced node's owner has died.
+    DeadObject,
+    /// No Context Manager is registered in the caller's device
+    /// namespace.
+    NoContextManager,
+    /// A Context Manager is already registered in this namespace.
+    ContextManagerExists,
+    /// The ioctl is restricted (e.g. `PUBLISH_TO_ALL_NS` from outside
+    /// the device container).
+    PermissionDenied(&'static str),
+    /// Parcel read out of bounds or with the wrong value type.
+    BadParcel(&'static str),
+    /// A service re-entered itself (analogous to binder thread
+    /// exhaustion deadlock).
+    Reentrant,
+    /// The remote service rejected the transaction.
+    TransactionFailed(String),
+    /// The requested service name is unknown to the ServiceManager.
+    ServiceNotFound(String),
+    /// The file descriptor is not in the caller's fd table.
+    BadFd(u32),
+}
+
+impl fmt::Display for BinderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinderError::NotOpened(pid) => write!(f, "{pid} has not opened /dev/binder"),
+            BinderError::BadHandle(h) => write!(f, "bad handle {h}"),
+            BinderError::DeadObject => write!(f, "dead binder object"),
+            BinderError::NoContextManager => write!(f, "no context manager in namespace"),
+            BinderError::ContextManagerExists => write!(f, "context manager already set"),
+            BinderError::PermissionDenied(what) => write!(f, "permission denied: {what}"),
+            BinderError::BadParcel(what) => write!(f, "bad parcel: {what}"),
+            BinderError::Reentrant => write!(f, "re-entrant transaction to self"),
+            BinderError::TransactionFailed(why) => write!(f, "transaction failed: {why}"),
+            BinderError::ServiceNotFound(name) => write!(f, "service '{name}' not found"),
+            BinderError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+        }
+    }
+}
+
+impl std::error::Error for BinderError {}

@@ -1,0 +1,26 @@
+//! # androne-cloud
+//!
+//! The AnDrone cloud service (paper Sections 2 and 4, Figure 4):
+//!
+//! - [`portal`]: the ordering workflow — waypoints, drone types, app
+//!   selection with manifest-driven argument prompting, max-charge →
+//!   energy conversion.
+//! - [`appstore`]: published apps with their AnDrone manifests.
+//! - [`vdr`]: the Virtual Drone Repository storing preconfigured and
+//!   interrupted virtual drones for later flights.
+//! - [`storage`]: per-user flight-artifact storage with retrieval
+//!   links.
+//! - [`service`]: the assembled service with VRP-based flight
+//!   planning, billing, and user notifications.
+
+pub mod appstore;
+pub mod portal;
+pub mod service;
+pub mod storage;
+pub mod vdr;
+
+pub use appstore::{AppListing, AppStore};
+pub use portal::{AppSelection, DroneType, OrderError, OrderRequest, PlacedOrder, Portal};
+pub use service::{CloudService, Notification, NotificationKind};
+pub use storage::{CloudStorage, StoredFile};
+pub use vdr::{SaveReason, SavedVirtualDrone, VirtualDroneRepository};

@@ -1,0 +1,136 @@
+//! The Virtual Drone Repository (VDR).
+//!
+//! Cloud storage for preconfigured and interrupted virtual drones
+//! (paper Section 4): a virtual drone saved here — definition plus
+//! container diff plus app saved-state — can be reinstated on any
+//! compatible drone hardware for a later flight.
+
+use std::collections::BTreeMap;
+
+use androne_container::ContainerArchive;
+use androne_vdc::VirtualDroneSpec;
+
+/// A stored virtual drone.
+#[derive(Debug, Clone)]
+pub struct SavedVirtualDrone {
+    /// Virtual drone name.
+    pub name: String,
+    /// Owning user account.
+    pub owner: String,
+    /// The JSON definition.
+    pub spec: VirtualDroneSpec,
+    /// The container archive (base layer ids + private diff).
+    pub archive: ContainerArchive,
+    /// Serialized app saved-state bundles.
+    pub app_state: String,
+    /// Why it was saved (completed / interrupted / preconfigured).
+    pub reason: SaveReason,
+}
+
+/// Why a virtual drone landed in the VDR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveReason {
+    /// Preconfigured for later use.
+    Preconfigured,
+    /// Flight ended normally; stored for reuse.
+    Completed,
+    /// Interrupted (energy exhausted, weather, etc.); resume later.
+    Interrupted,
+}
+
+/// The repository.
+#[derive(Debug, Default)]
+pub struct VirtualDroneRepository {
+    entries: BTreeMap<String, SavedVirtualDrone>,
+}
+
+impl VirtualDroneRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        VirtualDroneRepository::default()
+    }
+
+    /// Stores (or replaces) a virtual drone.
+    pub fn store(&mut self, saved: SavedVirtualDrone) {
+        self.entries.insert(saved.name.clone(), saved);
+    }
+
+    /// Retrieves a virtual drone by name.
+    pub fn get(&self, name: &str) -> Option<&SavedVirtualDrone> {
+        self.entries.get(name)
+    }
+
+    /// Removes and returns a virtual drone (when reinstating it).
+    pub fn take(&mut self, name: &str) -> Option<SavedVirtualDrone> {
+        self.entries.remove(name)
+    }
+
+    /// Lists a user's stored virtual drones.
+    pub fn list_for(&self, owner: &str) -> Vec<&SavedVirtualDrone> {
+        self.entries.values().filter(|e| e.owner == owner).collect()
+    }
+
+    /// Virtual drones awaiting resumption.
+    pub fn interrupted(&self) -> Vec<&SavedVirtualDrone> {
+        self.entries
+            .values()
+            .filter(|e| e.reason == SaveReason::Interrupted)
+            .collect()
+    }
+
+    /// Total bytes stored (diffs only; base layers live once on each
+    /// drone).
+    pub fn stored_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.archive.stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use androne_container::{ContainerKind, Layer};
+
+    fn saved(name: &str, reason: SaveReason) -> SavedVirtualDrone {
+        let mut diff = Layer::new();
+        diff.write("/data/state.json", "{\"wp\":1}");
+        SavedVirtualDrone {
+            name: name.into(),
+            owner: "alice".into(),
+            spec: VirtualDroneSpec::example_survey(),
+            archive: ContainerArchive {
+                name: name.into(),
+                kind: ContainerKind::VirtualDrone,
+                base_stack: vec![],
+                diff,
+            },
+            app_state: String::new(),
+            reason,
+        }
+    }
+
+    #[test]
+    fn store_take_round_trip() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Interrupted));
+        assert_eq!(vdr.list_for("alice").len(), 1);
+        assert_eq!(vdr.interrupted().len(), 1);
+        let back = vdr.take("vd1").unwrap();
+        assert_eq!(back.name, "vd1");
+        assert!(vdr.get("vd1").is_none());
+    }
+
+    #[test]
+    fn storage_counts_diff_bytes_only() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Completed));
+        let expected = "{\"wp\":1}".len() as u64;
+        assert_eq!(vdr.stored_bytes(), expected, "just the diff bytes");
+    }
+
+    #[test]
+    fn listing_is_per_owner() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Completed));
+        assert!(vdr.list_for("bob").is_empty());
+    }
+}

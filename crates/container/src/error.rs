@@ -1,0 +1,69 @@
+//! Container runtime error types.
+
+use std::fmt;
+
+use androne_simkern::KernelError;
+
+use crate::container::ContainerState;
+use crate::image::LayerId;
+
+/// Errors surfaced by the container substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Referenced layer is not in the store.
+    UnknownLayer(LayerId),
+    /// Referenced image tag is not in the store.
+    UnknownImage(String),
+    /// Referenced container does not exist.
+    UnknownContainer(String),
+    /// Operation invalid in the container's current state.
+    InvalidState {
+        /// The container involved.
+        container: String,
+        /// Its state at the time of the call.
+        state: ContainerState,
+        /// The operation attempted.
+        op: &'static str,
+    },
+    /// A container with this name already exists.
+    DuplicateName(String),
+    /// The underlying kernel rejected the operation (e.g. OOM).
+    Kernel(KernelError),
+    /// A resource limit was exceeded.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::UnknownLayer(id) => write!(f, "unknown layer {id}"),
+            ContainerError::UnknownImage(name) => write!(f, "unknown image '{name}'"),
+            ContainerError::UnknownContainer(name) => write!(f, "unknown container '{name}'"),
+            ContainerError::InvalidState {
+                container,
+                state,
+                op,
+            } => write!(f, "container '{container}' is {state:?}; cannot {op}"),
+            ContainerError::DuplicateName(name) => {
+                write!(f, "container name '{name}' already in use")
+            }
+            ContainerError::Kernel(e) => write!(f, "kernel error: {e}"),
+            ContainerError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ContainerError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for ContainerError {
+    fn from(e: KernelError) -> Self {
+        ContainerError::Kernel(e)
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-container resource limits (Docker-style cgroup controls).
+//!
+//! The paper notes that Docker "enables AnDrone to prevent abuse and
+//! excessive consumption of resources" by letting it cap what each
+//! virtual drone can use, even though the evaluation runs with
+//! resource controls disabled (Figures 10–11). Both configurations are
+//! supported here.
+
+/// Resource caps applied to one container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceLimits {
+    /// Maximum resident memory in bytes, if capped.
+    pub memory_bytes: Option<u64>,
+    /// CPU cap in cores (e.g. `Some(1.5)` = at most 1.5 cores).
+    pub cpu_cores: Option<f64>,
+    /// Relative block-I/O weight in `10..=1000` (cgroup blkio).
+    pub blkio_weight: u32,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits::UNLIMITED
+    }
+}
+
+impl ResourceLimits {
+    /// No caps: the evaluation configuration.
+    pub const UNLIMITED: ResourceLimits = ResourceLimits {
+        memory_bytes: None,
+        cpu_cores: None,
+        blkio_weight: 500,
+    };
+
+    /// Clamps a requested memory allocation to the cap, returning
+    /// `true` if the total would stay within limits.
+    pub fn permits_memory(&self, current: u64, requested: u64) -> bool {
+        match self.memory_bytes {
+            Some(cap) => current.saturating_add(requested) <= cap,
+            None => true,
+        }
+    }
+
+    /// Clamps a CPU demand (in cores) to the cap.
+    pub fn clamp_cpu(&self, demand: f64) -> f64 {
+        match self.cpu_cores {
+            Some(cap) => demand.min(cap),
+            None => demand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_permits_everything() {
+        let l = ResourceLimits::UNLIMITED;
+        assert!(l.permits_memory(u64::MAX - 1, 1));
+        assert_eq!(l.clamp_cpu(64.0), 64.0);
+    }
+
+    #[test]
+    fn memory_cap_enforced() {
+        let l = ResourceLimits {
+            memory_bytes: Some(100),
+            ..ResourceLimits::UNLIMITED
+        };
+        assert!(l.permits_memory(60, 40));
+        assert!(!l.permits_memory(61, 40));
+    }
+
+    #[test]
+    fn cpu_cap_clamps_demand() {
+        let l = ResourceLimits {
+            cpu_cores: Some(1.5),
+            ..ResourceLimits::UNLIMITED
+        };
+        assert_eq!(l.clamp_cpu(4.0), 1.5);
+        assert_eq!(l.clamp_cpu(1.0), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The top-level AnDrone service: cloud plus drone fleet.
+//!
+//! Drives the complete Figure 4 workflow: users order virtual drones
+//! from the portal; the flight planner allocates them to physical
+//! flights; drones fly, handing each waypoint to its virtual drone;
+//! after landing, files are offloaded to cloud storage, energy is
+//! billed, and virtual drones are saved in the VDR (interrupted ones
+//! can resume on a later flight).
+
+use androne_android::AndroneManifest;
+use androne_cloud::{CloudService, NotificationKind, PlacedOrder, SaveReason, SavedVirtualDrone};
+use androne_hal::GeoPoint;
+use androne_planner::FlightPlan;
+
+use crate::drone::{Drone, DroneError};
+use crate::flight_exec::{execute_flight, AbortCheck, FlightOutcome};
+
+/// The assembled service.
+pub struct Androne {
+    /// The cloud side.
+    pub cloud: CloudService,
+    /// Launch base for the fleet.
+    pub base: GeoPoint,
+    /// Physical drones available.
+    pub fleet_size: usize,
+    seed: u64,
+}
+
+impl Androne {
+    /// Creates the service with a fleet launching from `base`.
+    pub fn new(base: GeoPoint, fleet_size: usize, seed: u64) -> Self {
+        Androne {
+            cloud: CloudService::new(),
+            base,
+            fleet_size,
+            seed,
+        }
+    }
+
+    /// Looks up the manifests for an order's apps (from the store).
+    fn manifests_for(&self, order: &PlacedOrder) -> Vec<AndroneManifest> {
+        order
+            .spec
+            .apps
+            .iter()
+            .filter_map(|apk| {
+                let package = apk.strip_suffix(".apk").unwrap_or(apk);
+                self.cloud.app_store.get(package).map(|l| l.manifest.clone())
+            })
+            .collect()
+    }
+
+    /// Plans and executes all flights for `orders`, performing
+    /// post-flight bookkeeping. Returns one outcome per flight.
+    pub fn execute_orders(
+        &mut self,
+        orders: &[PlacedOrder],
+        max_sim_seconds: f64,
+    ) -> Result<Vec<FlightOutcome>, DroneError> {
+        let plans = self.cloud.plan_flights(orders, self.base, self.fleet_size);
+        let mut outcomes = Vec::new();
+        for plan in plans {
+            let outcome = self.execute_one_flight(orders, plan, max_sim_seconds, None)?;
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// Executes one planned flight (exposed for scenario tests that
+    /// need abort injection).
+    pub fn execute_one_flight(
+        &mut self,
+        orders: &[PlacedOrder],
+        plan: FlightPlan,
+        max_sim_seconds: f64,
+        abort: Option<AbortCheck<'_>>,
+    ) -> Result<FlightOutcome, DroneError> {
+        self.seed = self.seed.wrapping_add(100);
+        let mut drone = Drone::boot(self.base, self.seed)?;
+
+        // Deploy every virtual drone this plan serves.
+        let owners: Vec<String> = {
+            let mut o: Vec<String> = plan.legs.iter().map(|l| l.owner.clone()).collect();
+            o.dedup();
+            o.sort();
+            o.dedup();
+            o
+        };
+        for owner in &owners {
+            let order = orders
+                .iter()
+                .find(|o| &o.vd_name == owner)
+                .ok_or_else(|| DroneError::UnknownVirtualDrone(owner.clone()))?;
+            // Resume from the VDR if stored, otherwise fresh deploy.
+            if let Some(saved) = self.cloud.vdr.take(owner) {
+                let manifests = self.manifests_for(order);
+                drone.deploy_from_archive(
+                    &saved.archive,
+                    saved.spec,
+                    &manifests,
+                    &saved.app_state,
+                )?;
+            } else {
+                let manifests = self.manifests_for(order);
+                drone.deploy_vdrone(owner, order.spec.clone(), &manifests)?;
+            }
+            // Notify the user their drone is taking off (paper
+            // Section 2: email/text with access information).
+            self.cloud.notify(
+                &order.user,
+                NotificationKind::Text,
+                format!(
+                    "Virtual drone {owner} is launching; connect via your per-container VPN."
+                ),
+            );
+        }
+
+        let flight_id = self.cloud.new_flight_id();
+        let outcome = execute_flight(&mut drone, plan, max_sim_seconds, abort);
+
+        // Post-flight bookkeeping per virtual drone.
+        for owner in &owners {
+            let order = orders
+                .iter()
+                .find(|o| &o.vd_name == owner)
+                .expect("checked above");
+            // Collect marked files from the container before export.
+            let (marked, energy_used, completed_all) = {
+                let vdc = drone.vdc.borrow();
+                let rec = vdc.record(owner);
+                (
+                    rec.map(|r| r.marked_files.clone()).unwrap_or_default(),
+                    rec.map(|r| r.spec.energy_allotted - r.energy_remaining_j())
+                        .unwrap_or(0.0),
+                    rec.map(|r| r.waypoints_completed() >= r.spec.waypoints.len())
+                        .unwrap_or(false),
+                )
+            };
+            let mut files = Vec::new();
+            for path in marked {
+                if let Some(vd) = drone.vdrones.get(owner) {
+                    let _ = vd;
+                }
+                let data = drone
+                    .runtime
+                    .get(owner)
+                    .and_then(|c| c.fs.read(&path))
+                    .unwrap_or_else(|| bytes::Bytes::from_static(b""));
+                files.push((path, data));
+            }
+            self.cloud
+                .complete_flight(&order.user, flight_id, energy_used, files);
+
+            // Save the virtual drone in the VDR.
+            let (archive, app_state) = drone.save_vdrone(owner)?;
+            self.cloud.vdr.store(SavedVirtualDrone {
+                name: owner.clone(),
+                owner: order.user.clone(),
+                spec: order.spec.clone(),
+                archive,
+                app_state,
+                reason: if completed_all {
+                    SaveReason::Completed
+                } else {
+                    SaveReason::Interrupted
+                },
+            });
+        }
+        Ok(outcome)
+    }
+}

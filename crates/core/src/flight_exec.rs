@@ -1,0 +1,298 @@
+//! Flight execution: the loop that ties the autopilot, the VDC, and
+//! MAVProxy together for one physical flight.
+//!
+//! This is the paper's Figure 4 in motion on the drone side: the
+//! flight planner flies the drone waypoint to waypoint; at each
+//! waypoint the VDC grants the owning virtual drone its devices and
+//! (if requested) flight control through its VFC; departure revokes
+//! them with enforcement; geofence breaches propagate to the app via
+//! the SDK; energy and time are charged against each virtual drone's
+//! allotment as it operates.
+
+use std::collections::BTreeMap;
+
+use androne_flight::Geofence;
+use androne_planner::{Autopilot, FlightPlan, PilotEvent};
+
+use crate::drone::Drone;
+
+/// One entry in the flight log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightLog {
+    /// Launched from base.
+    Launched,
+    /// A virtual drone was handed its waypoint.
+    WaypointHandover {
+        /// Virtual drone name.
+        owner: String,
+        /// Index into *that virtual drone's* waypoint list.
+        waypoint: usize,
+        /// Whether flight control was granted.
+        flight_control: bool,
+    },
+    /// A virtual drone's waypoint service ended.
+    WaypointEnd {
+        /// Virtual drone name.
+        owner: String,
+        /// Index into the virtual drone's waypoint list.
+        waypoint: usize,
+        /// Why it ended.
+        reason: EndReason,
+        /// Pids terminated by revocation enforcement.
+        enforced_kills: usize,
+    },
+    /// The geofence was breached and recovered.
+    GeofenceBreach {
+        /// The controlling virtual drone.
+        owner: String,
+    },
+    /// The flight was aborted (e.g. weather) and returned to base.
+    Aborted,
+    /// The drone landed back at base.
+    Landed,
+}
+
+/// Why a waypoint service ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndReason {
+    /// The app called `waypointCompleted()`.
+    Completed,
+    /// The energy allotment ran out.
+    EnergyExhausted,
+    /// The time allotment ran out.
+    TimeExhausted,
+    /// The flight was aborted.
+    Aborted,
+}
+
+/// Outcome of one executed flight.
+#[derive(Debug)]
+pub struct FlightOutcome {
+    /// Ordered flight log.
+    pub log: Vec<FlightLog>,
+    /// Total battery energy consumed, joules.
+    pub total_energy_j: f64,
+    /// Energy charged to each virtual drone at its waypoints.
+    pub vdrone_energy_j: BTreeMap<String, f64>,
+    /// Whether the drone completed the plan (vs. aborted).
+    pub completed: bool,
+    /// Simulated flight duration, seconds.
+    pub duration_s: f64,
+}
+
+/// Optional mid-flight abort trigger: checked once per simulated
+/// second; returning `true` sends the drone home.
+pub type AbortCheck<'a> = Box<dyn FnMut(f64) -> bool + 'a>;
+
+/// Executes `plan` on `drone` to completion (or abort), with a
+/// safety cap of `max_sim_seconds`.
+pub fn execute_flight(
+    drone: &mut Drone,
+    plan: FlightPlan,
+    max_sim_seconds: f64,
+    mut abort: Option<AbortCheck<'_>>,
+) -> FlightOutcome {
+    let mut pilot = Autopilot::new(plan);
+    let mut log = Vec::new();
+    let mut vdrone_energy: BTreeMap<String, f64> = BTreeMap::new();
+    let mut completed = false;
+    let mut aborted = false;
+
+    // Per-waypoint service tracking.
+    let mut active: Option<ActiveService> = None;
+    let mut breaches_seen = 0u64;
+    let energy_at_start = drone.sitl.energy_consumed_j();
+
+    struct ActiveService {
+        owner: String,
+        wp_index: usize,
+        last_energy: f64,
+        end_reason: EndReason,
+    }
+
+    let max_steps = (max_sim_seconds * 400.0) as u64;
+    for step in 0..max_steps {
+        let events = pilot.step(&mut drone.proxy, &mut drone.sitl);
+        for event in events {
+            match event {
+                PilotEvent::Launched => log.push(FlightLog::Launched),
+                PilotEvent::ArrivedAtWaypoint { index, owner } => {
+                    // Which of the owner's waypoints is this?
+                    let wp_index = drone
+                        .vdc
+                        .borrow()
+                        .record(&owner)
+                        .map(|r| r.waypoints_completed())
+                        .unwrap_or(0);
+                    // Retarget the VFC fence at this leg.
+                    let leg = &pilot.plan().legs[index];
+                    let fence = Geofence::new(leg.position, leg.max_radius_m);
+                    if let Some(vfc) = drone.proxy.vfc_mut(&owner) {
+                        vfc.retarget(fence);
+                    }
+                    drone.vdc.borrow_mut().on_waypoint_arrived(&owner, wp_index);
+                    let flight_control = drone.flight_control_allowed(&owner);
+                    if flight_control {
+                        drone.proxy.activate_vfc(&owner);
+                    }
+                    log.push(FlightLog::WaypointHandover {
+                        owner: owner.clone(),
+                        waypoint: wp_index,
+                        flight_control,
+                    });
+                    active = Some(ActiveService {
+                        owner,
+                        wp_index,
+                        last_energy: drone.sitl.energy_consumed_j(),
+                        end_reason: EndReason::Completed,
+                    });
+                }
+                PilotEvent::EnergyExhausted { .. } => {
+                    if let Some(a) = active.as_mut() {
+                        a.end_reason = EndReason::EnergyExhausted;
+                    }
+                }
+                PilotEvent::TimeExhausted { .. } => {
+                    if let Some(a) = active.as_mut() {
+                        a.end_reason = EndReason::TimeExhausted;
+                    }
+                }
+                PilotEvent::DepartedWaypoint { index } => {
+                    if let Some(a) = active.take() {
+                        // Final energy charge for this service window.
+                        let now_e = drone.sitl.energy_consumed_j();
+                        let delta = now_e - a.last_energy;
+                        drone.vdc.borrow_mut().charge_energy(&a.owner, delta);
+                        *vdrone_energy.entry(a.owner.clone()).or_default() += delta;
+
+                        drone
+                            .vdc
+                            .borrow_mut()
+                            .on_waypoint_departed(&a.owner, a.wp_index);
+                        let kills = drone.enforce_revocation(&a.owner).len();
+
+                        // VFC: retarget at the owner's next leg, or
+                        // land the view for good.
+                        let next_leg = pilot.plan().legs[index + 1..]
+                            .iter()
+                            .find(|l| l.owner == a.owner)
+                            .map(|l| Geofence::new(l.position, l.max_radius_m));
+                        match next_leg {
+                            Some(fence) => {
+                                if let Some(vfc) = drone.proxy.vfc_mut(&a.owner) {
+                                    vfc.retarget(fence);
+                                }
+                            }
+                            None => {
+                                let pos = drone.sitl.position();
+                                drone.proxy.finish_vfc(&a.owner, pos);
+                            }
+                        }
+                        log.push(FlightLog::WaypointEnd {
+                            owner: a.owner,
+                            waypoint: a.wp_index,
+                            reason: a.end_reason,
+                            enforced_kills: kills,
+                        });
+                    }
+                }
+                PilotEvent::FlightComplete => {
+                    log.push(FlightLog::Landed);
+                    completed = !aborted;
+                }
+            }
+        }
+
+        // Once per simulated second: budget charging, completion
+        // polling, breach propagation, SDK event delivery, abort
+        // checks.
+        if step % 400 == 0 {
+            drone.pump_sdk_events();
+            drone.pump_camera_streams();
+            if let Some(a) = active.as_mut() {
+                let now_e = drone.sitl.energy_consumed_j();
+                let delta = now_e - a.last_energy;
+                a.last_energy = now_e;
+                let (done, exhausted) = {
+                    let mut vdc = drone.vdc.borrow_mut();
+                    vdc.charge_energy(&a.owner, delta);
+                    vdc.charge_time(&a.owner, 1.0);
+                    let done = vdc.record(&a.owner).map(|r| r.waypoint_done).unwrap_or(false);
+                    let exhausted = vdc.record(&a.owner).map(|r| r.exhausted()).unwrap_or(false);
+                    (done, exhausted)
+                };
+                *vdrone_energy.entry(a.owner.clone()).or_default() += delta;
+                let energy_gone = drone
+                    .vdc
+                    .borrow()
+                    .record(&a.owner)
+                    .map(|r| r.energy_remaining_j() <= 0.0)
+                    .unwrap_or(false);
+                if done {
+                    pilot.release_waypoint();
+                } else if exhausted {
+                    // The virtual drone's aggregate allotment ran
+                    // out (the pilot's per-leg budget may be wider).
+                    a.end_reason = if energy_gone {
+                        EndReason::EnergyExhausted
+                    } else {
+                        EndReason::TimeExhausted
+                    };
+                    pilot.release_waypoint();
+                }
+            }
+            let breaches = drone.proxy.breaches_handled;
+            if breaches > breaches_seen {
+                breaches_seen = breaches;
+                if let Some(a) = active.as_ref() {
+                    drone.vdc.borrow_mut().on_geofence_breached(&a.owner);
+                    log.push(FlightLog::GeofenceBreach {
+                        owner: a.owner.clone(),
+                    });
+                }
+            }
+            let sim_t = step as f64 / 400.0;
+            if let Some(check) = abort.as_mut() {
+                if !aborted && check(sim_t) {
+                    aborted = true;
+                    if let Some(a) = active.take() {
+                        drone
+                            .vdc
+                            .borrow_mut()
+                            .on_waypoint_departed(&a.owner, a.wp_index);
+                        // Retire the VFC so its geofence recovery
+                        // does not fight the return-to-base.
+                        let pos = drone.sitl.position();
+                        drone.proxy.finish_vfc(&a.owner, pos);
+                        log.push(FlightLog::WaypointEnd {
+                            owner: a.owner,
+                            waypoint: a.wp_index,
+                            reason: EndReason::Aborted,
+                            enforced_kills: 0,
+                        });
+                    }
+                    pilot.abort_to_base(&mut drone.proxy, &mut drone.sitl);
+                    log.push(FlightLog::Aborted);
+                }
+            }
+        }
+
+        if pilot.done() {
+            return FlightOutcome {
+                log,
+                total_energy_j: drone.sitl.energy_consumed_j() - energy_at_start,
+                vdrone_energy_j: vdrone_energy,
+                completed,
+                duration_s: step as f64 / 400.0,
+            };
+        }
+    }
+
+    FlightOutcome {
+        log,
+        total_energy_j: drone.sitl.energy_consumed_j() - energy_at_start,
+        vdrone_energy_j: vdrone_energy,
+        completed: false,
+        duration_s: max_sim_seconds,
+    }
+}

@@ -1,0 +1,490 @@
+//! The MAVProxy-style flight controller multiplexer.
+//!
+//! AnDrone "leverages and modifies MAVProxy ... to allow multiple
+//! clients to connect to the flight controller" (Section 4.3). The
+//! proxy owns the single real flight-controller connection and
+//! fans out:
+//!
+//! - an **unrestricted** connection for the cloud flight planner and
+//!   the service provider;
+//! - a **VFC** connection per virtual drone, which filters commands
+//!   (whitelist + waypoint gating + geofence) and virtualizes the
+//!   telemetry view.
+//!
+//! The proxy also implements AnDrone's augmented geofence-breach
+//! handling: notify the virtual drone, disable its commands, guide
+//! the drone back inside the fence, loiter, then return control —
+//! instead of the stock failsafe landing, so the multi-tenant flight
+//! continues.
+
+use std::collections::BTreeMap;
+
+use androne_hal::GeoPoint;
+use androne_mavlink::{deg_to_e7, FlightMode, Message};
+
+use crate::sitl::Sitl;
+use crate::vfc::{Vfc, VfcDecision, VfcState};
+
+/// Distance at which a VFC switches from Pending to the synthetic
+/// takeoff animation, meters.
+pub const APPROACH_DISTANCE_M: f64 = 60.0;
+
+#[derive(Debug, Clone, PartialEq)]
+enum RecoveryPhase {
+    /// Guiding the drone back toward a point inside the fence.
+    GuidingBack { target: GeoPoint },
+    /// Holding in loiter for a settling period.
+    Loitering { steps_left: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct BreachRecovery {
+    client: String,
+    phase: RecoveryPhase,
+}
+
+struct ClientConn {
+    vfc: Option<Vfc>,
+    outbox: Vec<Message>,
+}
+
+/// The multiplexing proxy in the flight container.
+pub struct MavProxy {
+    clients: BTreeMap<String, ClientConn>,
+    recovery: Option<BreachRecovery>,
+    /// Total client commands denied (diagnostics).
+    pub commands_denied: u64,
+    /// Total client commands forwarded.
+    pub commands_forwarded: u64,
+    /// Geofence breaches handled.
+    pub breaches_handled: u64,
+}
+
+impl Default for MavProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MavProxy {
+    /// Creates a proxy with no clients.
+    pub fn new() -> Self {
+        MavProxy {
+            clients: BTreeMap::new(),
+            recovery: None,
+            commands_denied: 0,
+            commands_forwarded: 0,
+            breaches_handled: 0,
+        }
+    }
+
+    /// Adds an unrestricted connection (flight planner / provider).
+    pub fn add_unrestricted_client(&mut self, name: impl Into<String>) {
+        self.clients.insert(
+            name.into(),
+            ClientConn {
+                vfc: None,
+                outbox: Vec::new(),
+            },
+        );
+    }
+
+    /// Adds a VFC connection for a virtual drone.
+    pub fn add_vfc_client(&mut self, vfc: Vfc) {
+        self.clients.insert(
+            vfc.client.clone(),
+            ClientConn {
+                vfc: Some(vfc),
+                outbox: Vec::new(),
+            },
+        );
+    }
+
+    /// Removes a client connection.
+    pub fn remove_client(&mut self, name: &str) {
+        self.clients.remove(name);
+    }
+
+    /// Borrow a client's VFC (diagnostics/tests).
+    pub fn vfc(&self, name: &str) -> Option<&Vfc> {
+        self.clients.get(name).and_then(|c| c.vfc.as_ref())
+    }
+
+    /// Mutably borrow a client's VFC (the VDC retargets the fence as
+    /// the flight moves between a virtual drone's waypoints).
+    pub fn vfc_mut(&mut self, name: &str) -> Option<&mut Vfc> {
+        self.clients.get_mut(name).and_then(|c| c.vfc.as_mut())
+    }
+
+    /// Grants flight control to a client's VFC (its waypoint was
+    /// reached and the VDC approved flight control).
+    pub fn activate_vfc(&mut self, name: &str) {
+        if let Some(conn) = self.clients.get_mut(name) {
+            if let Some(vfc) = conn.vfc.as_mut() {
+                vfc.activate();
+            }
+        }
+    }
+
+    /// Revokes flight control permanently for a client's VFC.
+    pub fn finish_vfc(&mut self, name: &str, last_position: GeoPoint) {
+        if let Some(conn) = self.clients.get_mut(name) {
+            if let Some(vfc) = conn.vfc.as_mut() {
+                vfc.finish(last_position);
+            }
+        }
+    }
+
+    /// Sends one message from a client toward the flight controller.
+    /// Replies (acks, denials) are queued on the client's outbox.
+    pub fn client_send(&mut self, name: &str, msg: Message, sitl: &mut Sitl) {
+        let Some(conn) = self.clients.get_mut(name) else {
+            return;
+        };
+        match conn.vfc.as_mut() {
+            None => {
+                // Unrestricted: straight through.
+                let replies = sitl.handle_message(&msg);
+                conn.outbox.extend(replies);
+                self.commands_forwarded += 1;
+            }
+            Some(vfc) => match vfc.on_client_message(&msg) {
+                VfcDecision::Forward(m) => {
+                    let replies = sitl.handle_message(&m);
+                    conn.outbox.extend(replies);
+                    self.commands_forwarded += 1;
+                }
+                VfcDecision::Deny(reply) => {
+                    conn.outbox.push(reply);
+                    self.commands_denied += 1;
+                }
+            },
+        }
+    }
+
+    /// Drains a client's pending messages (telemetry + replies).
+    pub fn client_recv(&mut self, name: &str) -> Vec<Message> {
+        match self.clients.get_mut(name) {
+            Some(conn) => std::mem::take(&mut conn.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Advances the vehicle one step and distributes telemetry,
+    /// driving approach detection and geofence-breach recovery.
+    pub fn step(&mut self, sitl: &mut Sitl) {
+        let telemetry = sitl.step();
+        let pos = sitl.position();
+
+        // Approach detection: pending VFCs whose waypoint the real
+        // drone is nearing begin their synthetic takeoff.
+        for conn in self.clients.values_mut() {
+            if let Some(vfc) = conn.vfc.as_mut() {
+                if vfc.state() == VfcState::Pending
+                    && pos.distance_m(&vfc.geofence.center) < APPROACH_DISTANCE_M
+                {
+                    vfc.begin_approach();
+                }
+            }
+        }
+
+        // Geofence monitoring for the active VFC.
+        self.check_geofence(&pos, sitl);
+        self.drive_recovery(&pos, sitl);
+
+        // Telemetry fan-out, transformed per client view.
+        for conn in self.clients.values_mut() {
+            for msg in &telemetry {
+                let out = match conn.vfc.as_mut() {
+                    Some(vfc) => vfc.transform_telemetry(msg, &pos),
+                    None => msg.clone(),
+                };
+                conn.outbox.push(out);
+            }
+        }
+    }
+
+    fn check_geofence(&mut self, pos: &GeoPoint, sitl: &mut Sitl) {
+        if self.recovery.is_some() {
+            return;
+        }
+        let mut breach: Option<(String, GeoPoint)> = None;
+        for (name, conn) in &mut self.clients {
+            if let Some(vfc) = conn.vfc.as_mut() {
+                if vfc.state() == VfcState::Active && !vfc.geofence.contains(pos) {
+                    // Step 1: inform the virtual drone; step 2:
+                    // disable its commands.
+                    let notice = vfc.begin_breach_recovery();
+                    conn.outbox.push(notice);
+                    breach = Some((name.clone(), vfc.geofence.recovery_point(pos)));
+                    break;
+                }
+            }
+        }
+        if let Some((client, target)) = breach {
+            self.breaches_handled += 1;
+            // Step 3: guide the drone back inside the geofence.
+            sitl.handle_message(&Message::SetMode {
+                mode: FlightMode::Guided,
+            });
+            sitl.handle_message(&Message::SetPositionTargetGlobalInt {
+                lat: deg_to_e7(target.latitude),
+                lon: deg_to_e7(target.longitude),
+                alt: target.altitude as f32,
+                speed: 5.0,
+            });
+            self.recovery = Some(BreachRecovery {
+                client,
+                phase: RecoveryPhase::GuidingBack { target },
+            });
+        }
+    }
+
+    fn drive_recovery(&mut self, pos: &GeoPoint, sitl: &mut Sitl) {
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        match &mut rec.phase {
+            RecoveryPhase::GuidingBack { target } => {
+                if pos.distance_m(target) < 3.0 {
+                    // Step 4: switch to loiter to hold position.
+                    sitl.handle_message(&Message::SetMode {
+                        mode: FlightMode::Loiter,
+                    });
+                    rec.phase = RecoveryPhase::Loitering {
+                        steps_left: 400, // One second at 400 Hz.
+                    };
+                }
+            }
+            RecoveryPhase::Loitering { steps_left } => {
+                if *steps_left > 0 {
+                    *steps_left -= 1;
+                    return;
+                }
+                // Step 5: return control to the virtual drone.
+                let client = rec.client.clone();
+                self.recovery = None;
+                if let Some(conn) = self.clients.get_mut(&client) {
+                    if let Some(vfc) = conn.vfc.as_mut() {
+                        let done = vfc.end_breach_recovery();
+                        conn.outbox.push(done);
+                    }
+                }
+                // The virtual drone regains guided control.
+                sitl.handle_message(&Message::SetMode {
+                    mode: FlightMode::Guided,
+                });
+            }
+        }
+    }
+
+    /// Whether a breach recovery is in progress.
+    pub fn recovering(&self) -> bool {
+        self.recovery.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geofence::Geofence;
+    use crate::whitelist::CommandWhitelist;
+    use androne_mavlink::{MavCmd, MavResult};
+    use androne_simkern::SimDuration;
+
+    const HOME: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
+
+    fn flying_sitl(seed: u64) -> Sitl {
+        let mut sitl = Sitl::new(HOME, seed);
+        assert!(sitl.arm_and_takeoff(15.0, SimDuration::from_secs(30)));
+        sitl
+    }
+
+    fn run(proxy: &mut MavProxy, sitl: &mut Sitl, secs: f64) {
+        for _ in 0..(secs * 400.0) as u64 {
+            proxy.step(sitl);
+        }
+    }
+
+    #[test]
+    fn unrestricted_client_commands_pass_through() {
+        let mut sitl = Sitl::new(HOME, 1);
+        let mut proxy = MavProxy::new();
+        proxy.add_unrestricted_client("planner");
+        proxy.client_send(
+            "planner",
+            Message::SetMode {
+                mode: FlightMode::Guided,
+            },
+            &mut sitl,
+        );
+        proxy.client_send(
+            "planner",
+            Message::CommandLong {
+                command: MavCmd::ComponentArmDisarm,
+                params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            },
+            &mut sitl,
+        );
+        assert!(sitl.fc.armed());
+        let replies = proxy.client_recv("planner");
+        assert!(replies.iter().any(|m| matches!(
+            m,
+            Message::CommandAck {
+                result: MavResult::Accepted,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn pending_vfc_client_sees_synthetic_grounded_drone() {
+        let mut sitl = flying_sitl(2);
+        let mut proxy = MavProxy::new();
+        let waypoint = HOME.offset_m(500.0, 0.0, 15.0); // Far away.
+        proxy.add_vfc_client(Vfc::new(
+            "vd1",
+            CommandWhitelist::standard(),
+            Geofence::new(waypoint, 30.0),
+            false,
+        ));
+        run(&mut proxy, &mut sitl, 1.2);
+        let msgs = proxy.client_recv("vd1");
+        let positions: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::GlobalPositionInt {
+                    lat, relative_alt, ..
+                } => Some((*lat, *relative_alt)),
+                _ => None,
+            })
+            .collect();
+        assert!(!positions.is_empty());
+        for (lat, alt) in positions {
+            assert_eq!(lat, deg_to_e7(waypoint.latitude), "shown at waypoint");
+            assert_eq!(alt, 0, "shown grounded");
+        }
+    }
+
+    #[test]
+    fn vfc_activates_and_flies_within_fence() {
+        let mut sitl = flying_sitl(3);
+        let mut proxy = MavProxy::new();
+        let waypoint = sitl.position();
+        proxy.add_vfc_client(Vfc::new(
+            "vd1",
+            CommandWhitelist::guided_only(),
+            Geofence::new(waypoint, 40.0),
+            false,
+        ));
+        proxy.activate_vfc("vd1");
+        let target = waypoint.offset_m(20.0, 0.0, 0.0);
+        proxy.client_send(
+            "vd1",
+            Message::SetPositionTargetGlobalInt {
+                lat: deg_to_e7(target.latitude),
+                lon: deg_to_e7(target.longitude),
+                alt: target.altitude as f32,
+                speed: 5.0,
+            },
+            &mut sitl,
+        );
+        run(&mut proxy, &mut sitl, 20.0);
+        assert!(
+            sitl.position().distance_m(&target) < 3.0,
+            "reached the in-fence target"
+        );
+        assert_eq!(proxy.commands_forwarded, 1);
+    }
+
+    #[test]
+    fn breach_is_recovered_and_control_returned() {
+        let mut sitl = flying_sitl(4);
+        let mut proxy = MavProxy::new();
+        let waypoint = sitl.position();
+        let fence = Geofence::new(waypoint, 25.0);
+        proxy.add_vfc_client(Vfc::new(
+            "vd1",
+            CommandWhitelist::full(),
+            fence,
+            false,
+        ));
+        proxy.activate_vfc("vd1");
+        // Use full-template mode access to drift out: command RTL...
+        // actually force a breach by commanding Auto mission outside
+        // via the unrestricted path (simulating e.g. wind): here we
+        // directly push the drone out with a planner-side target.
+        proxy.add_unrestricted_client("planner");
+        let outside = waypoint.offset_m(60.0, 0.0, 0.0);
+        proxy.client_send(
+            "planner",
+            Message::SetPositionTargetGlobalInt {
+                lat: deg_to_e7(outside.latitude),
+                lon: deg_to_e7(outside.longitude),
+                alt: 15.0,
+                speed: 5.0,
+            },
+            &mut sitl,
+        );
+        let mut texts: Vec<String> = Vec::new();
+        for _ in 0..35 {
+            run(&mut proxy, &mut sitl, 1.0);
+            texts.extend(proxy.client_recv("vd1").into_iter().filter_map(|m| {
+                match m {
+                    Message::StatusText { text, .. } => Some(text),
+                    _ => None,
+                }
+            }));
+        }
+        assert_eq!(proxy.breaches_handled, 1, "breach detected");
+        assert!(
+            texts.iter().any(|t| t.contains("geofence breach")),
+            "{texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.contains("control returned")),
+            "control returned after recovery: {texts:?}"
+        );
+        assert!(fence.contains(&sitl.position()), "back inside the fence");
+        assert!(!proxy.recovering());
+    }
+
+    #[test]
+    fn finished_vfc_stays_denied_while_flight_continues() {
+        let mut sitl = flying_sitl(5);
+        let mut proxy = MavProxy::new();
+        let waypoint = sitl.position();
+        proxy.add_vfc_client(Vfc::new(
+            "vd1",
+            CommandWhitelist::standard(),
+            Geofence::new(waypoint, 30.0),
+            false,
+        ));
+        proxy.activate_vfc("vd1");
+        proxy.finish_vfc("vd1", waypoint);
+        proxy.client_send(
+            "vd1",
+            Message::CommandLong {
+                command: MavCmd::NavTakeoff,
+                params: [0.0; 7],
+            },
+            &mut sitl,
+        );
+        assert_eq!(proxy.commands_denied, 1);
+        // Meanwhile the planner still flies the drone onward.
+        proxy.add_unrestricted_client("planner");
+        let next = waypoint.offset_m(100.0, 0.0, 0.0);
+        proxy.client_send(
+            "planner",
+            Message::SetPositionTargetGlobalInt {
+                lat: deg_to_e7(next.latitude),
+                lon: deg_to_e7(next.longitude),
+                alt: 15.0,
+                speed: 8.0,
+            },
+            &mut sitl,
+        );
+        run(&mut proxy, &mut sitl, 30.0);
+        assert!(sitl.position().distance_m(&next) < 4.0);
+    }
+}

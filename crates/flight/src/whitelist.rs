@@ -1,0 +1,184 @@
+//! MAVLink command whitelists for virtual flight controllers.
+//!
+//! The extent of a virtual drone's flight control "is configurable
+//! via a whitelist of MAVLink commands available as a number of
+//! preconfigured whitelist templates which are customizable by the
+//! service provider" (paper Section 4.3). The most restrictive
+//! template only permits guided mode (position targets); the least
+//! restrictive allows full control within the geofence.
+
+use std::collections::BTreeSet;
+
+use androne_mavlink::{FlightMode, MavCmd, Message};
+
+/// A whitelist of MAVLink traffic a VFC connection will accept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandWhitelist {
+    /// Template name (for provider configuration/diagnostics).
+    pub name: String,
+    allowed_cmds: BTreeSet<u16>,
+    allowed_modes: BTreeSet<u32>,
+    allow_position_targets: bool,
+    allow_mission_upload: bool,
+}
+
+impl CommandWhitelist {
+    /// An empty whitelist builder.
+    pub fn named(name: impl Into<String>) -> Self {
+        CommandWhitelist {
+            name: name.into(),
+            allowed_cmds: BTreeSet::new(),
+            allowed_modes: BTreeSet::new(),
+            allow_position_targets: false,
+            allow_mission_upload: false,
+        }
+    }
+
+    /// Adds a permitted command.
+    pub fn allow_cmd(mut self, cmd: MavCmd) -> Self {
+        self.allowed_cmds.insert(cmd.id());
+        self
+    }
+
+    /// Adds a permitted flight mode for SET_MODE.
+    pub fn allow_mode(mut self, mode: FlightMode) -> Self {
+        self.allowed_modes.insert(mode.custom_mode());
+        self
+    }
+
+    /// Permits guided position targets.
+    pub fn allow_position_targets(mut self) -> Self {
+        self.allow_position_targets = true;
+        self
+    }
+
+    /// Permits MAVLink mission uploads (defining Auto flights).
+    pub fn allow_mission_upload(mut self) -> Self {
+        self.allow_mission_upload = true;
+        self
+    }
+
+    /// The most restrictive template: guided mode only — the virtual
+    /// drone "is given destination coordinates and a velocity with
+    /// which to reach it".
+    pub fn guided_only() -> Self {
+        CommandWhitelist::named("guided-only").allow_position_targets()
+    }
+
+    /// A mid-level template: guided targets plus takeoff/land/yaw and
+    /// gimbal control, and mode changes among Guided/Loiter/Land.
+    pub fn standard() -> Self {
+        CommandWhitelist::named("standard")
+            .allow_position_targets()
+            .allow_cmd(MavCmd::NavTakeoff)
+            .allow_cmd(MavCmd::NavLand)
+            .allow_cmd(MavCmd::ConditionYaw)
+            .allow_cmd(MavCmd::DoMountControl)
+            .allow_mode(FlightMode::Guided)
+            .allow_mode(FlightMode::Loiter)
+            .allow_mode(FlightMode::Land)
+    }
+
+    /// The least restrictive template: full control (the geofence
+    /// still applies).
+    pub fn full() -> Self {
+        let mut w = CommandWhitelist::named("full")
+            .allow_position_targets()
+            .allow_mission_upload();
+        for cmd in MavCmd::ALL {
+            w.allowed_cmds.insert(cmd.id());
+        }
+        for mode in FlightMode::ALL {
+            w.allowed_modes.insert(mode.custom_mode());
+        }
+        w
+    }
+
+    /// Whether this whitelist permits `msg`.
+    pub fn permits(&self, msg: &Message) -> bool {
+        match msg {
+            Message::CommandLong { command, .. } => self.allowed_cmds.contains(&command.id()),
+            Message::SetMode { mode } => self.allowed_modes.contains(&mode.custom_mode()),
+            Message::SetPositionTargetGlobalInt { .. } => self.allow_position_targets,
+            Message::MissionCount { .. } | Message::MissionItemInt { .. } => {
+                self.allow_mission_upload
+            }
+            // Telemetry-direction messages carry no authority.
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takeoff() -> Message {
+        Message::CommandLong {
+            command: MavCmd::NavTakeoff,
+            params: [0.0; 7],
+        }
+    }
+
+    fn target() -> Message {
+        Message::SetPositionTargetGlobalInt {
+            lat: 0,
+            lon: 0,
+            alt: 15.0,
+            speed: 5.0,
+        }
+    }
+
+    #[test]
+    fn guided_only_permits_targets_and_nothing_else() {
+        let w = CommandWhitelist::guided_only();
+        assert!(w.permits(&target()));
+        assert!(!w.permits(&takeoff()));
+        assert!(!w.permits(&Message::SetMode {
+            mode: FlightMode::Auto
+        }));
+    }
+
+    #[test]
+    fn standard_permits_takeoff_but_not_arm() {
+        let w = CommandWhitelist::standard();
+        assert!(w.permits(&takeoff()));
+        assert!(!w.permits(&Message::CommandLong {
+            command: MavCmd::ComponentArmDisarm,
+            params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }));
+        assert!(w.permits(&Message::SetMode {
+            mode: FlightMode::Loiter
+        }));
+        assert!(!w.permits(&Message::SetMode {
+            mode: FlightMode::Auto
+        }));
+    }
+
+    #[test]
+    fn full_permits_everything() {
+        let w = CommandWhitelist::full();
+        for cmd in MavCmd::ALL {
+            assert!(w.permits(&Message::CommandLong {
+                command: cmd,
+                params: [0.0; 7]
+            }));
+        }
+        for mode in FlightMode::ALL {
+            assert!(w.permits(&Message::SetMode { mode }));
+        }
+    }
+
+    #[test]
+    fn custom_templates_compose() {
+        let w = CommandWhitelist::named("survey-only")
+            .allow_position_targets()
+            .allow_cmd(MavCmd::DoMountControl);
+        assert!(w.permits(&Message::CommandLong {
+            command: MavCmd::DoMountControl,
+            params: [0.0; 7]
+        }));
+        assert!(!w.permits(&takeoff()));
+        assert_eq!(w.name, "survey-only");
+    }
+}

@@ -1,0 +1,186 @@
+//! Miscellaneous devices: audio, framebuffer, motors, battery
+//! monitor, gimbal.
+
+use bytes::Bytes;
+
+use crate::truth::VehicleTruth;
+
+/// The microphone: produces synthetic PCM chunks.
+#[derive(Debug, Default)]
+pub struct Microphone {
+    seq: u64,
+}
+
+impl Microphone {
+    /// Records one audio chunk.
+    pub fn record_chunk(&mut self) -> Bytes {
+        self.seq += 1;
+        Bytes::from(format!("PCM16:chunk={}", self.seq))
+    }
+}
+
+/// The speaker: swallows PCM chunks, counting playback.
+#[derive(Debug, Default)]
+pub struct Speaker {
+    chunks_played: u64,
+}
+
+impl Speaker {
+    /// Plays one chunk.
+    pub fn play(&mut self, _chunk: &Bytes) {
+        self.chunks_played += 1;
+    }
+
+    /// Chunks played so far.
+    pub fn chunks_played(&self) -> u64 {
+        self.chunks_played
+    }
+}
+
+/// A *virtual* framebuffer: Android refuses to boot without one, but
+/// drones are headless, so each container simply gets a private
+/// memory region (paper Section 4.1). This is the one device that
+/// needs no multiplexing at all.
+#[derive(Debug)]
+pub struct VirtualFramebuffer {
+    buffer: Vec<u8>,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl VirtualFramebuffer {
+    /// Allocates a RGBA framebuffer.
+    pub fn new(width: u32, height: u32) -> Self {
+        VirtualFramebuffer {
+            buffer: vec![0; (width * height * 4) as usize],
+            width,
+            height,
+        }
+    }
+
+    /// Writes a pixel (no-op display; contents are never shown).
+    pub fn put_pixel(&mut self, x: u32, y: u32, rgba: [u8; 4]) {
+        if x < self.width && y < self.height {
+            let i = ((y * self.width + x) * 4) as usize;
+            self.buffer[i..i + 4].copy_from_slice(&rgba);
+        }
+    }
+
+    /// Reads a pixel back.
+    pub fn get_pixel(&self, x: u32, y: u32) -> Option<[u8; 4]> {
+        if x < self.width && y < self.height {
+            let i = ((y * self.width + x) * 4) as usize;
+            let mut px = [0u8; 4];
+            px.copy_from_slice(&self.buffer[i..i + 4]);
+            Some(px)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes of memory backing the framebuffer.
+    pub fn size_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// The four ESC/motor outputs. Commands are clamped to `0.0..=1.0`
+/// and written to the truth bus for the physics to consume.
+#[derive(Debug, Default)]
+pub struct Motors;
+
+impl Motors {
+    /// Applies normalized motor commands.
+    pub fn set_outputs(&self, truth: &mut VehicleTruth, outputs: [f64; 4]) {
+        truth.motor_outputs = outputs.map(|o| {
+            if o.is_finite() {
+                o.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        });
+    }
+}
+
+/// The battery monitor (Navio2 power module): reads voltage/current
+/// from the truth bus.
+#[derive(Debug, Default)]
+pub struct BatteryMonitor;
+
+impl BatteryMonitor {
+    /// Terminal voltage, volts.
+    pub fn voltage(&self, truth: &VehicleTruth) -> f64 {
+        truth.battery_voltage
+    }
+
+    /// Instantaneous current, amps.
+    pub fn current(&self, truth: &VehicleTruth) -> f64 {
+        truth.battery_current
+    }
+
+    /// Cumulative energy drawn, joules.
+    pub fn energy_consumed_j(&self, truth: &VehicleTruth) -> f64 {
+        truth.energy_consumed_j
+    }
+}
+
+/// A 2-axis camera gimbal.
+#[derive(Debug, Default)]
+pub struct Gimbal {
+    /// Commanded pitch, radians (negative looks down).
+    pub pitch: f64,
+    /// Commanded yaw relative to the airframe, radians.
+    pub yaw: f64,
+}
+
+impl Gimbal {
+    /// Points the gimbal, clamping pitch to `[-pi/2, 0]` (straight
+    /// down to level).
+    pub fn point(&mut self, pitch: f64, yaw: f64) {
+        self.pitch = pitch.clamp(-std::f64::consts::FRAC_PI_2, 0.0);
+        self.yaw = yaw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+
+    #[test]
+    fn framebuffer_round_trips_pixels() {
+        let mut fb = VirtualFramebuffer::new(4, 4);
+        fb.put_pixel(1, 2, [9, 8, 7, 255]);
+        assert_eq!(fb.get_pixel(1, 2), Some([9, 8, 7, 255]));
+        assert_eq!(fb.get_pixel(9, 9), None);
+        assert_eq!(fb.size_bytes(), 64);
+    }
+
+    #[test]
+    fn motors_clamp_commands() {
+        let motors = Motors;
+        let mut truth = VehicleTruth::at_rest(GeoPoint::new(0.0, 0.0, 0.0));
+        motors.set_outputs(&mut truth, [1.5, -0.2, f64::NAN, 0.6]);
+        assert_eq!(truth.motor_outputs, [1.0, 0.0, 0.0, 0.6]);
+    }
+
+    #[test]
+    fn gimbal_clamps_pitch() {
+        let mut g = Gimbal::default();
+        g.point(-10.0, 0.5);
+        assert_eq!(g.pitch, -std::f64::consts::FRAC_PI_2);
+        g.point(1.0, 0.0);
+        assert_eq!(g.pitch, 0.0);
+    }
+
+    #[test]
+    fn audio_devices_count_traffic() {
+        let mut mic = Microphone::default();
+        let mut spk = Speaker::default();
+        let chunk = mic.record_chunk();
+        spk.play(&chunk);
+        assert_eq!(spk.chunks_played(), 1);
+    }
+}

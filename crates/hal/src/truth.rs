@@ -1,0 +1,87 @@
+//! Ground-truth vehicle state bus.
+//!
+//! The physics model (in `androne-flight`) owns the true vehicle
+//! state and publishes it here; every sensor device samples this bus
+//! (adding its own noise), and the motor device feeds actuator
+//! commands back to the physics. This mirrors how the real Navio2
+//! daughterboard sits between ArduPilot and the airframe.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::geo::{Attitude, GeoPoint, Vec3};
+
+/// The true state of the vehicle, written by physics each step.
+#[derive(Debug, Clone, Copy)]
+pub struct VehicleTruth {
+    /// True geodetic position.
+    pub position: GeoPoint,
+    /// NED velocity, m/s.
+    pub velocity: Vec3,
+    /// True attitude.
+    pub attitude: Attitude,
+    /// Body angular rates, rad/s.
+    pub body_rates: Vec3,
+    /// Specific force in body frame, m/s² (what an accelerometer
+    /// feels).
+    pub specific_force: Vec3,
+    /// Whether the vehicle is on the ground.
+    pub on_ground: bool,
+    /// Commanded motor outputs, normalized `0.0..=1.0`, read by
+    /// physics.
+    pub motor_outputs: [f64; 4],
+    /// Battery terminal voltage, volts.
+    pub battery_voltage: f64,
+    /// Instantaneous battery current draw, amps.
+    pub battery_current: f64,
+    /// Cumulative energy drawn from the battery, joules.
+    pub energy_consumed_j: f64,
+}
+
+impl VehicleTruth {
+    /// A vehicle at rest on the ground at `home`, battery full.
+    pub fn at_rest(home: GeoPoint) -> Self {
+        VehicleTruth {
+            position: home,
+            velocity: Vec3::ZERO,
+            attitude: Attitude::LEVEL,
+            body_rates: Vec3::ZERO,
+            specific_force: Vec3::new(0.0, 0.0, -9.80665),
+            on_ground: true,
+            motor_outputs: [0.0; 4],
+            battery_voltage: 12.6,
+            battery_current: 0.0,
+            energy_consumed_j: 0.0,
+        }
+    }
+}
+
+/// Shared handle to the truth bus.
+pub type TruthBus = Rc<RefCell<VehicleTruth>>;
+
+/// Creates a truth bus with the vehicle at rest at `home`.
+pub fn new_truth_bus(home: GeoPoint) -> TruthBus {
+    Rc::new(RefCell::new(VehicleTruth::at_rest(home)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_rest_state_is_grounded_and_level() {
+        let t = VehicleTruth::at_rest(GeoPoint::new(43.6, -85.8, 0.0));
+        assert!(t.on_ground);
+        assert_eq!(t.velocity, Vec3::ZERO);
+        assert_eq!(t.motor_outputs, [0.0; 4]);
+        assert!((t.specific_force.z + 9.80665).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bus_is_shared() {
+        let bus = new_truth_bus(GeoPoint::new(0.0, 0.0, 0.0));
+        let other = Rc::clone(&bus);
+        bus.borrow_mut().on_ground = false;
+        assert!(!other.borrow().on_ground);
+    }
+}

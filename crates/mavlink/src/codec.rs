@@ -1,0 +1,221 @@
+//! MAVLink v1 wire framing.
+//!
+//! Frame layout: `0xFE len seq sysid compid msgid payload crc_lo
+//! crc_hi`, with the X.25 checksum computed over `len..payload` plus
+//! the per-message CRC_EXTRA byte. The parser is an incremental state
+//! machine that resynchronizes on the 0xFE start byte, so corrupted
+//! streams drop frames rather than wedging the link.
+
+use crate::crc::{accumulate, CRC_INIT};
+use crate::error::MavError;
+use crate::message::Message;
+
+/// MAVLink v1 start-of-frame marker.
+pub const STX: u8 = 0xFE;
+
+/// A framed message with routing metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Per-link sequence number.
+    pub seq: u8,
+    /// Sending system id.
+    pub sysid: u8,
+    /// Sending component id.
+    pub compid: u8,
+    /// The message.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Serializes the frame to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.msg.encode_payload();
+        let msg_id = self.msg.msg_id();
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.push(STX);
+        out.push(payload.len() as u8);
+        out.push(self.seq);
+        out.push(self.sysid);
+        out.push(self.compid);
+        out.push(msg_id);
+        out.extend(&payload);
+        let mut crc = CRC_INIT;
+        for &b in &out[1..] {
+            crc = accumulate(crc, b);
+        }
+        // CRC_EXTRA is known for every id we can encode.
+        let extra = Message::crc_extra(msg_id).expect("own message id has CRC_EXTRA");
+        crc = accumulate(crc, extra);
+        out.push((crc & 0xFF) as u8);
+        out.push((crc >> 8) as u8);
+        out
+    }
+}
+
+/// Incremental frame parser.
+#[derive(Debug, Default)]
+pub struct Parser {
+    buf: Vec<u8>,
+    /// Frames dropped due to checksum or structural errors.
+    dropped: u64,
+}
+
+impl Parser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Parser::default()
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Feeds bytes, returning every complete frame decoded.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Frame> {
+        self.buf.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        loop {
+            // Resync: discard garbage before the next STX.
+            match self.buf.iter().position(|&b| b == STX) {
+                Some(0) => {}
+                Some(i) => {
+                    self.buf.drain(..i);
+                }
+                None => {
+                    self.buf.clear();
+                    break;
+                }
+            }
+            if self.buf.len() < 8 {
+                break;
+            }
+            let len = self.buf[1] as usize;
+            let total = 8 + len;
+            if self.buf.len() < total {
+                break;
+            }
+            let frame_bytes: Vec<u8> = self.buf.drain(..total).collect();
+            match decode_frame(&frame_bytes) {
+                Ok(frame) => frames.push(frame),
+                Err(_) => {
+                    self.dropped += 1;
+                    // The drained bytes are discarded; parsing
+                    // continues at the next STX.
+                }
+            }
+        }
+        frames
+    }
+}
+
+fn decode_frame(b: &[u8]) -> Result<Frame, MavError> {
+    debug_assert_eq!(b[0], STX);
+    let len = b[1] as usize;
+    let (seq, sysid, compid, msg_id) = (b[2], b[3], b[4], b[5]);
+    let payload = &b[6..6 + len];
+    let received = u16::from(b[6 + len]) | (u16::from(b[7 + len]) << 8);
+
+    let mut crc = CRC_INIT;
+    for &x in &b[1..6 + len] {
+        crc = accumulate(crc, x);
+    }
+    crc = accumulate(crc, Message::crc_extra(msg_id)?);
+    if crc != received {
+        return Err(MavError::BadChecksum {
+            computed: crc,
+            received,
+        });
+    }
+    Ok(Frame {
+        seq,
+        sysid,
+        compid,
+        msg: Message::decode_payload(msg_id, payload)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::FlightMode;
+
+    fn heartbeat(seq: u8) -> Frame {
+        Frame {
+            seq,
+            sysid: 1,
+            compid: 1,
+            msg: Message::Heartbeat {
+                mode: FlightMode::Loiter,
+                armed: true,
+                system_status: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = heartbeat(7);
+        let mut parser = Parser::new();
+        let out = parser.push(&frame.encode());
+        assert_eq!(out, vec![frame]);
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let frame = heartbeat(1);
+        let bytes = frame.encode();
+        let mut parser = Parser::new();
+        assert!(parser.push(&bytes[..3]).is_empty());
+        assert!(parser.push(&bytes[3..7]).is_empty());
+        let out = parser.push(&bytes[7..]);
+        assert_eq!(out, vec![frame]);
+    }
+
+    #[test]
+    fn garbage_before_frame_is_skipped() {
+        let frame = heartbeat(2);
+        let mut stream = vec![0x00, 0x13, 0x37];
+        stream.extend(frame.encode());
+        let mut parser = Parser::new();
+        let out = parser.push(&stream);
+        assert_eq!(out, vec![frame]);
+        assert_eq!(parser.dropped(), 0);
+    }
+
+    #[test]
+    fn corrupted_crc_drops_frame_and_resyncs() {
+        let a = heartbeat(1);
+        let b = heartbeat(2);
+        let mut bytes = a.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // Corrupt CRC of the first frame.
+        bytes.extend(b.encode());
+        let mut parser = Parser::new();
+        let out = parser.push(&bytes);
+        assert_eq!(out, vec![b], "second frame survives");
+        assert_eq!(parser.dropped(), 1);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let frame = heartbeat(3);
+        let mut bytes = frame.encode();
+        bytes[7] ^= 0x55; // Flip payload bits; CRC now mismatches.
+        let mut parser = Parser::new();
+        assert!(parser.push(&bytes).is_empty());
+        assert_eq!(parser.dropped(), 1);
+    }
+
+    #[test]
+    fn back_to_back_frames_all_decode() {
+        let mut bytes = Vec::new();
+        for i in 0..10 {
+            bytes.extend(heartbeat(i).encode());
+        }
+        let mut parser = Parser::new();
+        let out = parser.push(&bytes);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9].seq, 9);
+    }
+}

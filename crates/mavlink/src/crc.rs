@@ -1,0 +1,40 @@
+//! X.25 / CRC-16/MCRF4XX checksum as used by MAVLink.
+
+/// Initial CRC value.
+pub const CRC_INIT: u16 = 0xFFFF;
+
+/// Accumulates one byte into the CRC (the MAVLink `crc_accumulate`).
+pub fn accumulate(crc: u16, byte: u8) -> u16 {
+    let mut tmp = byte ^ (crc & 0xFF) as u8;
+    tmp ^= tmp << 4;
+    (crc >> 8)
+        ^ ((tmp as u16) << 8)
+        ^ ((tmp as u16) << 3)
+        ^ ((tmp as u16) >> 4)
+}
+
+/// CRC over a byte slice starting from [`CRC_INIT`].
+pub fn crc16(data: &[u8]) -> u16 {
+    data.iter().fold(CRC_INIT, |crc, &b| accumulate(crc, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-16/MCRF4XX of "123456789" is 0x6F91.
+        assert_eq!(crc16(b"123456789"), 0x6F91);
+    }
+
+    #[test]
+    fn empty_is_init() {
+        assert_eq!(crc16(&[]), CRC_INIT);
+    }
+
+    #[test]
+    fn single_bit_changes_crc() {
+        assert_ne!(crc16(b"\x00"), crc16(b"\x01"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # androne-mavlink
+//!
+//! MAVLink for the AnDrone reproduction: the protocol every flight
+//! controller conversation in the paper runs over.
+//!
+//! - [`crc`]: the X.25 / CRC-16/MCRF4XX checksum.
+//! - [`message`]: the common-dialect message subset AnDrone uses
+//!   (heartbeats, commands, guided targets, telemetry, status text),
+//!   with ArduPilot Copter flight-mode numbering.
+//! - [`codec`]: MAVLink v1 framing with an incremental, resyncing
+//!   parser.
+//! - [`connection`]: simulated endpoint pairs over
+//!   [`androne_simkern::LinkModel`]s (LTE, RF, Ethernet) for the
+//!   Section 6.5 network experiments.
+
+pub mod codec;
+pub mod connection;
+pub mod crc;
+pub mod error;
+pub mod message;
+
+pub use codec::{Frame, Parser, STX};
+pub use connection::{channel, MavEndpoint};
+pub use error::MavError;
+pub use message::{deg_to_e7, e7_to_deg, FlightMode, MavCmd, MavResult, Message};

@@ -1,0 +1,362 @@
+//! Waypoint ordering and grouping constraints.
+//!
+//! **Extension beyond the paper.** The paper's planner treats all
+//! waypoints independently: "users may not prescribe that waypoints
+//! be traversed in a specified order and the algorithm may decide to
+//! visit waypoints of one virtual drone in the middle of a set of
+//! waypoints of another virtual drone. Providing a planner algorithm
+//! that can support waypoint ordering and grouping is an area of
+//! future work" (Section 4). This module implements that future
+//! work:
+//!
+//! - **ordering**: pairs `(a, b)` of task indices that must ride the
+//!   same route with `a` visited before `b`;
+//! - **grouping**: sets of task indices that must be visited
+//!   contiguously on one route (no other party's waypoints
+//!   interleaved).
+//!
+//! Constraints are enforced by a deterministic repair pass applied
+//! to every candidate the annealer evaluates, so accepted solutions
+//! are always feasible; the annealer then optimizes within the
+//! feasible space.
+
+use crate::vrp::{Route, VrpSolution};
+
+/// Ordering and grouping constraints over a problem's task indices.
+#[derive(Debug, Clone, Default)]
+pub struct RouteConstraints {
+    /// `(before, after)`: both on one route, `before` first.
+    pub ordered: Vec<(usize, usize)>,
+    /// Each group's tasks ride one route, contiguously.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl RouteConstraints {
+    /// No constraints (the paper's baseline behaviour).
+    pub fn none() -> Self {
+        RouteConstraints::default()
+    }
+
+    /// Convenience: require `tasks` to be visited in the given order
+    /// (adds the chain of pairs) on one route.
+    pub fn in_order(mut self, tasks: &[usize]) -> Self {
+        for w in tasks.windows(2) {
+            self.ordered.push((w[0], w[1]));
+        }
+        self
+    }
+
+    /// Convenience: require `tasks` to form a contiguous group.
+    pub fn grouped(mut self, tasks: &[usize]) -> Self {
+        self.groups.push(tasks.to_vec());
+        self
+    }
+
+    /// Whether there is anything to enforce.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty() && self.groups.is_empty()
+    }
+
+    /// Checks a solution, returning the first violation found.
+    pub fn check(&self, sol: &VrpSolution) -> Result<(), ConstraintViolation> {
+        // Locate each task: (route, position).
+        let locate = |task: usize| -> Option<(usize, usize)> {
+            for (r, route) in sol.routes.iter().enumerate() {
+                if let Some(p) = route.stops.iter().position(|&s| s == task) {
+                    return Some((r, p));
+                }
+            }
+            None
+        };
+        for &(before, after) in &self.ordered {
+            let (Some((ra, pa)), Some((rb, pb))) = (locate(before), locate(after)) else {
+                continue; // Coverage violations are VrpProblem::validate's job.
+            };
+            if ra != rb {
+                return Err(ConstraintViolation::OrderSplitAcrossRoutes { before, after });
+            }
+            if pa >= pb {
+                return Err(ConstraintViolation::OutOfOrder { before, after });
+            }
+        }
+        for (gi, group) in self.groups.iter().enumerate() {
+            let mut positions: Vec<(usize, usize)> = group
+                .iter()
+                .filter_map(|&t| locate(t))
+                .collect();
+            if positions.is_empty() {
+                continue;
+            }
+            let route = positions[0].0;
+            if positions.iter().any(|(r, _)| *r != route) {
+                return Err(ConstraintViolation::GroupSplitAcrossRoutes { group: gi });
+            }
+            positions.sort_by_key(|(_, p)| *p);
+            let first = positions[0].1;
+            let contiguous = positions
+                .iter()
+                .enumerate()
+                .all(|(i, (_, p))| *p == first + i);
+            if !contiguous {
+                return Err(ConstraintViolation::GroupInterleaved { group: gi });
+            }
+        }
+        Ok(())
+    }
+
+    /// Repairs a solution in place so every constraint holds.
+    ///
+    /// Groups are gathered first (all members moved to the route and
+    /// position of the group's earliest member), then ordering pairs
+    /// are fixed by moving each `after` task to just behind its
+    /// `before` on the same route. The pass is deterministic and
+    /// terminates because each step strictly reduces a violation
+    /// count bounded by the constraint list.
+    pub fn repair(&self, sol: &mut VrpSolution) {
+        // Gather groups contiguously.
+        for group in &self.groups {
+            if group.len() < 2 {
+                continue;
+            }
+            // Find the earliest member's route/position.
+            let mut anchor: Option<(usize, usize)> = None;
+            for (r, route) in sol.routes.iter().enumerate() {
+                if let Some(p) = route.stops.iter().position(|s| group.contains(s)) {
+                    if anchor.is_none() {
+                        anchor = Some((r, p));
+                    }
+                    // Prefer the route holding the most members.
+                    let count = route.stops.iter().filter(|s| group.contains(s)).count();
+                    let best_count = sol.routes[anchor.unwrap().0]
+                        .stops
+                        .iter()
+                        .filter(|s| group.contains(s))
+                        .count();
+                    if count > best_count {
+                        anchor = Some((r, p));
+                    }
+                }
+            }
+            let Some((target_route, _)) = anchor else {
+                continue;
+            };
+            // Extract every member (preserving their relative order
+            // of appearance across the whole solution).
+            let mut members = Vec::new();
+            for route in &mut sol.routes {
+                route.stops.retain(|s| {
+                    if group.contains(s) {
+                        members.push(*s);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            // Reinsert contiguously at the front-most feasible spot.
+            let at = sol.routes[target_route]
+                .stops
+                .len()
+                .min(self.group_anchor_pos(&sol.routes[target_route]));
+            for (i, m) in members.into_iter().enumerate() {
+                sol.routes[target_route].stops.insert(at + i, m);
+            }
+        }
+
+        // Fix ordering pairs (iterate until stable; bounded).
+        for _ in 0..self.ordered.len() + 1 {
+            let mut changed = false;
+            for &(before, after) in &self.ordered {
+                let find = |sol: &VrpSolution, task: usize| {
+                    sol.routes.iter().enumerate().find_map(|(r, route)| {
+                        route.stops.iter().position(|&s| s == task).map(|p| (r, p))
+                    })
+                };
+                let (Some((ra, pa)), Some((rb, pb))) = (find(sol, before), find(sol, after))
+                else {
+                    continue;
+                };
+                if ra == rb && pa < pb {
+                    continue;
+                }
+                // Move `after` to behind `before` on its route. If
+                // `before` sits inside a group that `after` is not
+                // part of, insert past the end of that group so the
+                // move cannot break contiguity.
+                let task = sol.routes[rb].stops.remove(pb);
+                let (ra, pa) = find(sol, before).expect("before still present");
+                let mut at = pa + 1;
+                if let Some(group) = self
+                    .groups
+                    .iter()
+                    .find(|g| g.contains(&before) && !g.contains(&after))
+                {
+                    while at < sol.routes[ra].stops.len()
+                        && group.contains(&sol.routes[ra].stops[at])
+                    {
+                        at += 1;
+                    }
+                }
+                sol.routes[ra].stops.insert(at, task);
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        sol.routes.retain(|r| !r.stops.is_empty());
+    }
+
+    fn group_anchor_pos(&self, route: &Route) -> usize {
+        // Insert groups at the end of the target route by default;
+        // the annealer will slide them around via normal moves.
+        route.stops.len()
+    }
+}
+
+/// A constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// An ordered pair landed on different routes.
+    OrderSplitAcrossRoutes {
+        /// The earlier task.
+        before: usize,
+        /// The later task.
+        after: usize,
+    },
+    /// An ordered pair is reversed on its route.
+    OutOfOrder {
+        /// The earlier task.
+        before: usize,
+        /// The later task.
+        after: usize,
+    },
+    /// A group's tasks are on different routes.
+    GroupSplitAcrossRoutes {
+        /// Index into [`RouteConstraints::groups`].
+        group: usize,
+    },
+    /// A group is on one route but interleaved with other tasks.
+    GroupInterleaved {
+        /// Index into [`RouteConstraints::groups`].
+        group: usize,
+    },
+}
+
+impl std::fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintViolation::OrderSplitAcrossRoutes { before, after } => {
+                write!(f, "ordered tasks {before}->{after} split across routes")
+            }
+            ConstraintViolation::OutOfOrder { before, after } => {
+                write!(f, "task {after} visited before {before}")
+            }
+            ConstraintViolation::GroupSplitAcrossRoutes { group } => {
+                write!(f, "group {group} split across routes")
+            }
+            ConstraintViolation::GroupInterleaved { group } => {
+                write!(f, "group {group} interleaved with other tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(routes: &[&[usize]]) -> VrpSolution {
+        VrpSolution {
+            routes: routes
+                .iter()
+                .map(|r| Route { stops: r.to_vec() })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn check_accepts_satisfied_constraints() {
+        let c = RouteConstraints::none().in_order(&[0, 1, 2]).grouped(&[3, 4]);
+        let s = sol(&[&[0, 1, 2], &[5, 3, 4]]);
+        c.check(&s).unwrap();
+    }
+
+    #[test]
+    fn check_flags_out_of_order() {
+        let c = RouteConstraints::none().in_order(&[0, 1]);
+        assert_eq!(
+            c.check(&sol(&[&[1, 0]])),
+            Err(ConstraintViolation::OutOfOrder { before: 0, after: 1 })
+        );
+        assert_eq!(
+            c.check(&sol(&[&[0], &[1]])),
+            Err(ConstraintViolation::OrderSplitAcrossRoutes { before: 0, after: 1 })
+        );
+    }
+
+    #[test]
+    fn check_flags_broken_groups() {
+        let c = RouteConstraints::none().grouped(&[0, 1]);
+        assert_eq!(
+            c.check(&sol(&[&[0, 2, 1]])),
+            Err(ConstraintViolation::GroupInterleaved { group: 0 })
+        );
+        assert_eq!(
+            c.check(&sol(&[&[0], &[1]])),
+            Err(ConstraintViolation::GroupSplitAcrossRoutes { group: 0 })
+        );
+    }
+
+    #[test]
+    fn repair_fixes_ordering() {
+        let c = RouteConstraints::none().in_order(&[0, 1, 2]);
+        let mut s = sol(&[&[2, 1, 0, 5]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        assert_eq!(s.routes[0].stops.len(), 4, "no task lost");
+    }
+
+    #[test]
+    fn repair_fixes_cross_route_ordering() {
+        let c = RouteConstraints::none().in_order(&[0, 1]);
+        let mut s = sol(&[&[0, 5], &[1, 6]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        let all: usize = s.routes.iter().map(|r| r.stops.len()).sum();
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn repair_gathers_groups() {
+        let c = RouteConstraints::none().grouped(&[0, 1, 2]);
+        let mut s = sol(&[&[0, 7, 1], &[2, 8]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        let all: usize = s.routes.iter().map(|r| r.stops.len()).sum();
+        assert_eq!(all, 5, "no task lost");
+    }
+
+    #[test]
+    fn ordering_into_a_group_does_not_break_contiguity() {
+        // Order (0 -> 7) where 0 sits inside group [0, 1]: the repair
+        // must place 7 past the group, not inside it.
+        let c = RouteConstraints::none().grouped(&[0, 1]).in_order(&[0, 7]);
+        let mut s = sol(&[&[7, 0, 1]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        assert_eq!(s.routes[0].stops, vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn repair_handles_combined_constraints() {
+        let c = RouteConstraints::none()
+            .grouped(&[0, 1, 2])
+            .in_order(&[0, 1, 2]);
+        let mut s = sol(&[&[2, 7, 0], &[1, 8]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+    }
+}

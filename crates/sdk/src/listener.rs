@@ -1,0 +1,73 @@
+//! The `WaypointListener` callback class (paper Figure 8).
+
+use androne_vdc::WaypointSpec;
+
+/// Callbacks an AnDrone app registers to follow its virtual drone's
+/// flight. Default implementations are no-ops so apps override only
+/// what they need.
+pub trait WaypointListener {
+    /// The drone is at the given waypoint; flight control and
+    /// waypoint devices are live.
+    fn waypoint_active(&mut self, _waypoint: WaypointSpec, _index: usize) {}
+
+    /// Leaving the waypoint; flight control and waypoint devices are
+    /// about to be removed.
+    fn waypoint_inactive(&mut self, _index: usize) {}
+
+    /// The energy allotment is running low.
+    fn low_energy_warning(&mut self, _remaining_j: f64) {}
+
+    /// The time allotment is running low.
+    fn low_time_warning(&mut self, _remaining_s: f64) {}
+
+    /// The geofence was breached; control is suspended until
+    /// recovery completes.
+    fn geofence_breached(&mut self) {}
+
+    /// Continuous devices must be suspended (approaching another
+    /// party's waypoint).
+    fn suspend_continuous_devices(&mut self) {}
+
+    /// Continuous devices may be used again.
+    fn resume_continuous_devices(&mut self) {}
+}
+
+/// A listener that records every callback, for tests and examples.
+#[derive(Debug, Default)]
+pub struct RecordingListener {
+    /// Human-readable log of callbacks in delivery order.
+    pub log: Vec<String>,
+}
+
+impl WaypointListener for RecordingListener {
+    fn waypoint_active(&mut self, waypoint: WaypointSpec, index: usize) {
+        self.log.push(format!(
+            "waypointActive({index} @ {:.7},{:.7})",
+            waypoint.latitude, waypoint.longitude
+        ));
+    }
+
+    fn waypoint_inactive(&mut self, index: usize) {
+        self.log.push(format!("waypointInactive({index})"));
+    }
+
+    fn low_energy_warning(&mut self, remaining_j: f64) {
+        self.log.push(format!("lowEnergyWarning({remaining_j:.0})"));
+    }
+
+    fn low_time_warning(&mut self, remaining_s: f64) {
+        self.log.push(format!("lowTimeWarning({remaining_s:.0})"));
+    }
+
+    fn geofence_breached(&mut self) {
+        self.log.push("geofenceBreached()".into());
+    }
+
+    fn suspend_continuous_devices(&mut self) {
+        self.log.push("suspendContinuousDevices()".into());
+    }
+
+    fn resume_continuous_devices(&mut self) {
+        self.log.push("resumeContinuousDevices()".into());
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared-resource contention model.
+//!
+//! Figure 10 of the paper measures how PassMark CPU, disk, and memory
+//! scores degrade as more virtual drones run the benchmark
+//! simultaneously. The observed shapes are classic proportional-share
+//! contention: a CPU-bound multi-threaded benchmark saturates all four
+//! Cortex-A53 cores on its own (so N instances slow down ~N×), while a
+//! single disk or memory benchmark instance only demands ~60-70% of
+//! the bottleneck bandwidth (so contention bites sub-linearly).
+//!
+//! `SharedResource` implements exactly that: clients register a
+//! standalone demand, and the resource computes each client's
+//! proportional-share rate when aggregate demand exceeds capacity.
+
+use std::collections::BTreeMap;
+
+/// The hardware bottlenecks a benchmark can contend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// CPU cycles across all cores.
+    Cpu,
+    /// microSD card bandwidth.
+    DiskBandwidth,
+    /// DRAM bandwidth.
+    MemoryBandwidth,
+    /// Network interface bandwidth.
+    NetworkBandwidth,
+}
+
+impl ResourceKind {
+    /// All modelled resource kinds.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Cpu,
+        ResourceKind::DiskBandwidth,
+        ResourceKind::MemoryBandwidth,
+        ResourceKind::NetworkBandwidth,
+    ];
+}
+
+/// Identifier for a client holding demand on a resource.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub String);
+
+impl<T: Into<String>> From<T> for ClientId {
+    fn from(s: T) -> Self {
+        ClientId(s.into())
+    }
+}
+
+/// A single contended resource with proportional sharing.
+#[derive(Debug, Clone)]
+pub struct SharedResource {
+    kind: ResourceKind,
+    /// Capacity in abstract units per second. Demands use the same
+    /// units, so only the ratio matters.
+    capacity: f64,
+    demands: BTreeMap<ClientId, f64>,
+}
+
+impl SharedResource {
+    /// Creates a resource with the given capacity (units/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite; a
+    /// zero-capacity resource cannot serve any demand and indicates a
+    /// construction bug.
+    pub fn new(kind: ResourceKind, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource capacity must be positive"
+        );
+        SharedResource {
+            kind,
+            capacity,
+            demands: BTreeMap::new(),
+        }
+    }
+
+    /// The resource kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Registers (or replaces) a client's standalone demand.
+    ///
+    /// Negative or non-finite demands are clamped to zero.
+    pub fn register(&mut self, client: impl Into<ClientId>, demand: f64) {
+        let demand = if demand.is_finite() { demand.max(0.0) } else { 0.0 };
+        self.demands.insert(client.into(), demand);
+    }
+
+    /// Removes a client's demand.
+    pub fn unregister(&mut self, client: &ClientId) {
+        self.demands.remove(client);
+    }
+
+    /// Aggregate standalone demand across clients.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.values().sum()
+    }
+
+    /// Number of registered clients.
+    pub fn clients(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Rate actually delivered to `client` (units/second).
+    ///
+    /// When aggregate demand fits within capacity every client runs at
+    /// full demand; otherwise each receives a proportional share.
+    pub fn rate_for(&self, client: &ClientId) -> f64 {
+        let demand = match self.demands.get(client) {
+            Some(d) => *d,
+            None => return 0.0,
+        };
+        let total = self.total_demand();
+        if total <= self.capacity {
+            demand
+        } else {
+            demand * self.capacity / total
+        }
+    }
+
+    /// Slowdown factor for `client` relative to running alone
+    /// (>= 1.0). Returns 1.0 for unknown or zero-demand clients.
+    pub fn slowdown_for(&self, client: &ClientId) -> f64 {
+        let demand = self.demands.get(client).copied().unwrap_or(0.0);
+        if demand <= 0.0 {
+            return 1.0;
+        }
+        // Running alone, the client may itself exceed capacity (e.g. a
+        // 4-thread CPU benchmark on 4 cores demands exactly capacity);
+        // the baseline rate is therefore min(demand, capacity).
+        let alone = demand.min(self.capacity);
+        let now = self.rate_for(client);
+        if now <= 0.0 {
+            f64::INFINITY
+        } else {
+            (alone / now).max(1.0)
+        }
+    }
+}
+
+/// The full set of contended resources on the drone SBC.
+#[derive(Debug, Clone)]
+pub struct ResourceSet {
+    resources: BTreeMap<ResourceKind, SharedResource>,
+}
+
+impl ResourceSet {
+    /// Creates the Raspberry Pi 3 resource set.
+    ///
+    /// Capacities are normalized: CPU capacity is 4.0 (four cores of
+    /// one unit each); bandwidth resources are 1.0 (fractions of the
+    /// device's peak bandwidth).
+    pub fn rpi3() -> Self {
+        let mut resources = BTreeMap::new();
+        resources.insert(
+            ResourceKind::Cpu,
+            SharedResource::new(ResourceKind::Cpu, 4.0),
+        );
+        resources.insert(
+            ResourceKind::DiskBandwidth,
+            SharedResource::new(ResourceKind::DiskBandwidth, 1.0),
+        );
+        resources.insert(
+            ResourceKind::MemoryBandwidth,
+            SharedResource::new(ResourceKind::MemoryBandwidth, 1.0),
+        );
+        resources.insert(
+            ResourceKind::NetworkBandwidth,
+            SharedResource::new(ResourceKind::NetworkBandwidth, 1.0),
+        );
+        ResourceSet { resources }
+    }
+
+    /// Borrows one resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is absent, which cannot happen for sets made
+    /// by [`ResourceSet::rpi3`].
+    pub fn get(&self, kind: ResourceKind) -> &SharedResource {
+        self.resources.get(&kind).expect("resource kind present")
+    }
+
+    /// Mutably borrows one resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is absent (see [`ResourceSet::get`]).
+    pub fn get_mut(&mut self, kind: ResourceKind) -> &mut SharedResource {
+        self.resources.get_mut(&kind).expect("resource kind present")
+    }
+
+    /// Removes a client's demand from every resource.
+    pub fn unregister_everywhere(&mut self, client: &ClientId) {
+        for r in self.resources.values_mut() {
+            r.unregister(client);
+        }
+    }
+
+    /// Aggregate CPU utilization in `0.0..=1.0`, used by the power
+    /// meter (Figure 13).
+    pub fn cpu_utilization(&self) -> f64 {
+        let cpu = self.get(ResourceKind::Cpu);
+        (cpu.total_demand() / cpu.capacity()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_clients_run_at_full_demand() {
+        let mut r = SharedResource::new(ResourceKind::DiskBandwidth, 1.0);
+        r.register("a", 0.4);
+        r.register("b", 0.4);
+        assert_eq!(r.rate_for(&"a".into()), 0.4);
+        assert_eq!(r.slowdown_for(&"a".into()), 1.0);
+    }
+
+    #[test]
+    fn contention_is_proportional_share() {
+        let mut r = SharedResource::new(ResourceKind::DiskBandwidth, 1.0);
+        for c in ["a", "b", "c"] {
+            r.register(c, 0.67);
+        }
+        // Aggregate demand 2.01 on capacity 1.0 -> each sees ~3x the
+        // demand-to-capacity ratio... i.e. slowdown = total/capacity.
+        let s = r.slowdown_for(&"a".into());
+        assert!((s - 2.01).abs() < 1e-9, "slowdown {s}");
+    }
+
+    #[test]
+    fn cpu_saturating_benchmark_scales_linearly() {
+        // A 4-thread CPU benchmark demands the whole CPU; N instances
+        // slow each other down by exactly N.
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("vd1", 4.0);
+        assert_eq!(r.slowdown_for(&"vd1".into()), 1.0);
+        r.register("vd2", 4.0);
+        assert_eq!(r.slowdown_for(&"vd1".into()), 2.0);
+        r.register("vd3", 4.0);
+        assert_eq!(r.slowdown_for(&"vd1".into()), 3.0);
+    }
+
+    #[test]
+    fn disk_benchmark_matches_paper_shape() {
+        // Paper: disk overhead at 3 virtual drones is ~2x (PREEMPT).
+        // A single instance demanding 0.67 of disk bandwidth produces
+        // exactly that shape.
+        let mut r = SharedResource::new(ResourceKind::DiskBandwidth, 1.0);
+        r.register("vd1", 0.67);
+        r.register("vd2", 0.67);
+        r.register("vd3", 0.67);
+        let s = r.slowdown_for(&"vd1".into());
+        assert!((s - 2.01).abs() < 0.02);
+    }
+
+    #[test]
+    fn unknown_client_has_no_rate() {
+        let r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        assert_eq!(r.rate_for(&"ghost".into()), 0.0);
+        assert_eq!(r.slowdown_for(&"ghost".into()), 1.0);
+    }
+
+    #[test]
+    fn unregister_restores_full_rate() {
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("a", 4.0);
+        r.register("b", 4.0);
+        assert_eq!(r.slowdown_for(&"a".into()), 2.0);
+        r.unregister(&"b".into());
+        assert_eq!(r.slowdown_for(&"a".into()), 1.0);
+    }
+
+    #[test]
+    fn resource_set_reports_cpu_utilization() {
+        let mut set = ResourceSet::rpi3();
+        assert_eq!(set.cpu_utilization(), 0.0);
+        set.get_mut(ResourceKind::Cpu).register("load", 2.0);
+        assert!((set.cpu_utilization() - 0.5).abs() < 1e-12);
+        set.get_mut(ResourceKind::Cpu).register("more", 8.0);
+        assert_eq!(set.cpu_utilization(), 1.0, "clamped at saturation");
+    }
+
+    #[test]
+    fn bad_demands_clamp_to_zero() {
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("nan", f64::NAN);
+        r.register("neg", -5.0);
+        assert_eq!(r.total_demand(), 0.0);
+    }
+}

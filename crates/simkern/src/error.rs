@@ -1,0 +1,37 @@
+//! Kernel error types.
+
+use std::fmt;
+
+use crate::task::Pid;
+
+/// Errors surfaced by the simulated kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Memory allocation failed: requested bytes vs bytes available.
+    OutOfMemory { requested: u64, available: u64 },
+    /// The referenced task does not exist.
+    NoSuchTask(Pid),
+    /// An argument was out of range or otherwise invalid.
+    InvalidArgument(String),
+    /// The caller lacks the privilege for the operation.
+    PermissionDenied(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes, {available} available"
+            ),
+            KernelError::NoSuchTask(pid) => write!(f, "no such task: {pid}"),
+            KernelError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            KernelError::PermissionDenied(msg) => write!(f, "permission denied: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

@@ -1,0 +1,223 @@
+//! Generic discrete-event queue.
+//!
+//! The simulated kernel, the flight stack, and the workload models all
+//! advance on the same virtual clock. `EventQueue` is a priority queue
+//! of `(time, closure)` pairs with stable FIFO ordering for events
+//! scheduled at the same instant, which keeps runs bit-for-bit
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A closure scheduled to run at a simulated instant against a world
+/// of type `W`.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event (and
+        // lowest sequence number among ties) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over a world type `W`.
+pub struct EventQueue<W> {
+    heap: BinaryHeap<Entry<W>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<W> Default for EventQueue<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// Creates an empty queue starting at boot time.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Returns the current simulated time (the time of the most
+    /// recently executed event, or the run-until horizon).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `run` at absolute time `at`.
+    ///
+    /// Events scheduled in the past execute at the current time on the
+    /// next run step (time never moves backwards).
+    pub fn schedule_at<F>(&mut self, at: SimTime, run: F)
+    where
+        F: FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at: at.max(self.now),
+            seq,
+            run: Box::new(run),
+        });
+    }
+
+    /// Schedules `run` after a delay from the current time.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, run: F)
+    where
+        F: FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, run);
+    }
+
+    fn pop_due(&mut self, horizon: SimTime) -> Option<Entry<W>> {
+        if self.heap.peek().is_some_and(|e| e.at <= horizon) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Executes a single pending event if one is due at or before
+    /// `horizon`, returning `true` if an event ran.
+    pub fn step(&mut self, world: &mut W, horizon: SimTime) -> bool {
+        match self.pop_due(horizon) {
+            Some(entry) => {
+                self.now = self.now.max(entry.at);
+                (entry.run)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs all events up to and including `horizon`, then advances the
+    /// clock to `horizon`.
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) {
+        while self.step(world, horizon) {}
+        self.now = self.now.max(horizon);
+    }
+
+    /// Runs events for a span of simulated time from now.
+    pub fn run_for(&mut self, world: &mut W, span: SimDuration) {
+        let horizon = self.now + span;
+        self.run_until(world, horizon);
+    }
+
+    /// Drains every pending event regardless of time, advancing the
+    /// clock as it goes. Useful for "run to completion" tests.
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        while let Some(entry) = self.heap.pop() {
+            self.now = self.now.max(entry.at);
+            (entry.run)(world, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut world = Vec::new();
+        q.schedule_at(SimTime::from_nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        q.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        q.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        q.run_to_completion(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_run_fifo() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut world = Vec::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_nanos(5), move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
+        }
+        q.run_to_completion(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut world = Vec::new();
+        q.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        q.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u32>, _| w.push(2));
+        q.run_until(&mut world, SimTime::from_nanos(50));
+        assert_eq!(world, vec![1]);
+        assert_eq!(q.now(), SimTime::from_nanos(50));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        let mut world = Vec::new();
+        fn tick(w: &mut Vec<u64>, q: &mut EventQueue<Vec<u64>>) {
+            w.push(q.now().as_nanos());
+            if w.len() < 4 {
+                q.schedule_after(SimDuration::from_nanos(10), tick);
+            }
+        }
+        q.schedule_at(SimTime::from_nanos(10), tick);
+        q.run_to_completion(&mut world);
+        assert_eq!(world, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        let mut world = Vec::new();
+        q.run_until(&mut world, SimTime::from_nanos(100));
+        q.schedule_at(SimTime::from_nanos(5), |w: &mut Vec<u64>, q| {
+            w.push(q.now().as_nanos())
+        });
+        q.run_to_completion(&mut world);
+        assert_eq!(world, vec![100], "past event executes at current time");
+    }
+}

@@ -1,0 +1,165 @@
+//! Physical memory accounting.
+//!
+//! The prototype hardware is a Raspberry Pi 3 Model B with 1 GB of
+//! RAM, of which only 880 MB is available to the OS after peripheral
+//! I/O reserved space and the GPU carve-out for the camera (paper
+//! Section 6.3). Memory is the binding constraint on how many virtual
+//! drones can run: the fourth virtual drone fails to start with OOM
+//! but must not disturb the ones already running.
+
+use std::collections::BTreeMap;
+
+use crate::error::KernelError;
+
+/// One mebibyte in bytes.
+pub const MIB: u64 = 1024 * 1024;
+
+/// Total RAM soldered on the Raspberry Pi 3 Model B.
+pub const RPI3_TOTAL_RAM: u64 = 1024 * MIB;
+
+/// RAM actually available to the OS on the prototype (880 MB) after
+/// peripheral reserved space and the GPU/camera allocation.
+pub const RPI3_USABLE_RAM: u64 = 880 * MIB;
+
+/// An opaque owner of memory; allocations are tagged so that usage can
+/// be reported per subsystem/container (Figure 12).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemOwner(pub String);
+
+impl<T: Into<String>> From<T> for MemOwner {
+    fn from(s: T) -> Self {
+        MemOwner(s.into())
+    }
+}
+
+/// Ledger of physical memory allocations.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    usable: u64,
+    allocated: BTreeMap<MemOwner, u64>,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger with the given usable capacity in bytes.
+    pub fn new(usable: u64) -> Self {
+        MemoryLedger {
+            usable,
+            allocated: BTreeMap::new(),
+        }
+    }
+
+    /// Creates the prototype's ledger (880 MB usable).
+    pub fn rpi3() -> Self {
+        Self::new(RPI3_USABLE_RAM)
+    }
+
+    /// Total usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.usable
+    }
+
+    /// Bytes currently allocated across all owners.
+    pub fn used(&self) -> u64 {
+        self.allocated.values().sum()
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.usable - self.used()
+    }
+
+    /// Bytes held by a specific owner.
+    pub fn used_by(&self, owner: &MemOwner) -> u64 {
+        self.allocated.get(owner).copied().unwrap_or(0)
+    }
+
+    /// Allocates `bytes` on behalf of `owner`.
+    ///
+    /// Fails with [`KernelError::OutOfMemory`] without any partial
+    /// allocation, so a failed container start leaves running
+    /// containers untouched.
+    pub fn allocate(&mut self, owner: impl Into<MemOwner>, bytes: u64) -> Result<(), KernelError> {
+        let free = self.free();
+        if bytes > free {
+            return Err(KernelError::OutOfMemory {
+                requested: bytes,
+                available: free,
+            });
+        }
+        *self.allocated.entry(owner.into()).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Frees up to `bytes` held by `owner` (saturating).
+    pub fn free_bytes(&mut self, owner: &MemOwner, bytes: u64) {
+        if let Some(held) = self.allocated.get_mut(owner) {
+            *held = held.saturating_sub(bytes);
+            if *held == 0 {
+                self.allocated.remove(owner);
+            }
+        }
+    }
+
+    /// Releases everything held by `owner`, returning the amount freed.
+    pub fn release_owner(&mut self, owner: &MemOwner) -> u64 {
+        self.allocated.remove(owner).unwrap_or(0)
+    }
+
+    /// Snapshot of per-owner usage, sorted by owner name.
+    pub fn usage_report(&self) -> Vec<(MemOwner, u64)> {
+        self.allocated
+            .iter()
+            .map(|(o, b)| (o.clone(), *b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_round_trip() {
+        let mut m = MemoryLedger::new(100 * MIB);
+        m.allocate("a", 30 * MIB).unwrap();
+        m.allocate("b", 20 * MIB).unwrap();
+        assert_eq!(m.used(), 50 * MIB);
+        assert_eq!(m.used_by(&"a".into()), 30 * MIB);
+        m.free_bytes(&"a".into(), 10 * MIB);
+        assert_eq!(m.used_by(&"a".into()), 20 * MIB);
+        assert_eq!(m.release_owner(&"b".into()), 20 * MIB);
+        assert_eq!(m.used(), 20 * MIB);
+    }
+
+    #[test]
+    fn oom_is_atomic_and_reports_availability() {
+        let mut m = MemoryLedger::new(100 * MIB);
+        m.allocate("a", 90 * MIB).unwrap();
+        let err = m.allocate("b", 20 * MIB).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::OutOfMemory {
+                requested: 20 * MIB,
+                available: 10 * MIB
+            }
+        );
+        // The failed allocation must not leave partial state behind.
+        assert_eq!(m.used_by(&"b".into()), 0);
+        assert_eq!(m.used(), 90 * MIB);
+    }
+
+    #[test]
+    fn rpi3_capacity_matches_paper() {
+        let m = MemoryLedger::rpi3();
+        assert_eq!(m.capacity(), 880 * MIB);
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let mut m = MemoryLedger::new(10 * MIB);
+        m.allocate("a", 5 * MIB).unwrap();
+        m.free_bytes(&"a".into(), 50 * MIB);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.free(), 10 * MIB);
+    }
+}

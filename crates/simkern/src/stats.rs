@@ -1,0 +1,197 @@
+//! Small statistics helpers shared by the evaluation harnesses.
+
+/// Streaming summary of a series of f64 samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Population standard deviation (0.0 when empty).
+    pub fn stddev(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = (self.sum_sq / self.n as f64 - mean * mean).max(0.0);
+        var.sqrt()
+    }
+
+    /// Minimum sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A logarithmically-bucketed histogram, matching the log-log
+/// presentation of the paper's Figure 11 (latency on a log axis,
+/// sample counts on a log axis).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Bucket upper bounds (exclusive), ascending.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `buckets_per_decade` buckets per
+    /// decade spanning `lo..hi` (both > 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` or `hi` are non-positive or `lo >= hi`; bucket
+    /// geometry would be meaningless.
+    pub fn new(lo: f64, hi: f64, buckets_per_decade: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "invalid histogram range");
+        assert!(buckets_per_decade > 0, "need at least one bucket");
+        let decades = (hi / lo).log10();
+        let n = (decades * buckets_per_decade as f64).ceil() as usize;
+        let ratio = 10f64.powf(1.0 / buckets_per_decade as f64);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = lo;
+        for _ in 0..n {
+            b *= ratio;
+            bounds.push(b);
+        }
+        let len = bounds.len();
+        LogHistogram {
+            bounds,
+            counts: vec![0; len],
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        match self.bounds.iter().position(|&b| x < b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Iterates `(bucket_upper_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Samples that exceeded the top bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+}
+
+/// Percentile from a sorted slice (nearest-rank). Returns 0.0 for an
+/// empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.stddev() - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let mut h = LogHistogram::new(1.0, 10_000.0, 4);
+        h.record(1.5);
+        h.record(150.0);
+        h.record(9_999.0);
+        h.record(1e9); // Overflow.
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.overflow(), 1);
+        let counted: u64 = h.buckets().map(|(_, c)| c).sum();
+        assert_eq!(counted, 3);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

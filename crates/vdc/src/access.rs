@@ -1,0 +1,230 @@
+//! The device-access policy table.
+//!
+//! The VDC "manages virtual drone device access by verifying whether
+//! or not a virtual drone is allowed access to a device throughout a
+//! flight" (paper Section 4.4). Device services consult this table —
+//! through the [`DevicePolicy`] hook — on every permission check:
+//!
+//! - **waypoint devices** are allowed only while the virtual drone is
+//!   operating at one of its waypoints;
+//! - **continuous devices** are allowed from the moment the first
+//!   waypoint is reached until the last waypoint completes, except
+//!   while suspended near another party's waypoint;
+//! - **flight control** is a waypoint device and additionally gated
+//!   on the flight phase (queried by the flight container).
+
+use std::collections::BTreeMap;
+
+use androne_android::{DeviceClass, DevicePolicy};
+use androne_simkern::ContainerId;
+
+/// Where a virtual drone is in its flight lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightPhase {
+    /// Created; the drone has not reached its first waypoint.
+    BeforeFirstWaypoint,
+    /// Operating at waypoint `index`.
+    AtWaypoint(usize),
+    /// Between its own waypoints.
+    Transit,
+    /// All waypoints done (or budget exhausted/forced off).
+    Finished,
+}
+
+/// Per-virtual-drone access state.
+#[derive(Debug, Clone)]
+struct AccessState {
+    waypoint_devices: Vec<DeviceClass>,
+    continuous_devices: Vec<DeviceClass>,
+    phase: FlightPhase,
+    continuous_suspended: bool,
+}
+
+/// The table device services consult.
+#[derive(Debug, Default)]
+pub struct AccessTable {
+    /// The device container itself (unrestricted).
+    device_container: Option<ContainerId>,
+    /// The flight container (native; policy-only checks).
+    flight_container: Option<ContainerId>,
+    entries: BTreeMap<ContainerId, AccessState>,
+}
+
+impl AccessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AccessTable::default()
+    }
+
+    /// Marks the device container (its own processes always pass).
+    pub fn set_device_container(&mut self, c: ContainerId) {
+        self.device_container = Some(c);
+    }
+
+    /// Marks the flight container (the flight controller needs GPS
+    /// and sensors at all times).
+    pub fn set_flight_container(&mut self, c: ContainerId) {
+        self.flight_container = Some(c);
+    }
+
+    /// Registers a virtual drone's device lists.
+    pub fn register(
+        &mut self,
+        container: ContainerId,
+        waypoint_devices: Vec<DeviceClass>,
+        continuous_devices: Vec<DeviceClass>,
+    ) {
+        self.entries.insert(
+            container,
+            AccessState {
+                waypoint_devices,
+                continuous_devices,
+                phase: FlightPhase::BeforeFirstWaypoint,
+                continuous_suspended: false,
+            },
+        );
+    }
+
+    /// Removes a virtual drone.
+    pub fn unregister(&mut self, container: ContainerId) {
+        self.entries.remove(&container);
+    }
+
+    /// Updates a virtual drone's flight phase.
+    pub fn set_phase(&mut self, container: ContainerId, phase: FlightPhase) {
+        if let Some(e) = self.entries.get_mut(&container) {
+            e.phase = phase;
+        }
+    }
+
+    /// Current phase, if registered.
+    pub fn phase(&self, container: ContainerId) -> Option<FlightPhase> {
+        self.entries.get(&container).map(|e| e.phase)
+    }
+
+    /// Suspends continuous-device access (approaching another
+    /// party's waypoint).
+    pub fn suspend_continuous(&mut self, container: ContainerId) {
+        if let Some(e) = self.entries.get_mut(&container) {
+            e.continuous_suspended = true;
+        }
+    }
+
+    /// Resumes continuous-device access.
+    pub fn resume_continuous(&mut self, container: ContainerId) {
+        if let Some(e) = self.entries.get_mut(&container) {
+            e.continuous_suspended = false;
+        }
+    }
+
+    /// Whether flight control is currently permitted (used by the
+    /// flight container's query path).
+    pub fn flight_control_allowed(&self, container: ContainerId) -> bool {
+        self.allows(container, DeviceClass::FlightControl)
+    }
+}
+
+impl DevicePolicy for AccessTable {
+    fn allows(&self, container: ContainerId, device: DeviceClass) -> bool {
+        if Some(container) == self.device_container {
+            return true;
+        }
+        if Some(container) == self.flight_container {
+            // The flight stack reads GPS/sensors through the device
+            // container like everyone else, at all times.
+            return matches!(device, DeviceClass::Gps | DeviceClass::Sensors);
+        }
+        let Some(e) = self.entries.get(&container) else {
+            // Unknown containers get nothing.
+            return false;
+        };
+        let at_waypoint = matches!(e.phase, FlightPhase::AtWaypoint(_));
+        if e.waypoint_devices.contains(&device) && at_waypoint {
+            return true;
+        }
+        if e.continuous_devices.contains(&device) {
+            let started = !matches!(e.phase, FlightPhase::BeforeFirstWaypoint);
+            let finished = matches!(e.phase, FlightPhase::Finished);
+            return started && !finished && !e.continuous_suspended;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (AccessTable, ContainerId) {
+        let mut t = AccessTable::new();
+        let vd = ContainerId(10);
+        t.set_device_container(ContainerId(1));
+        t.register(
+            vd,
+            vec![DeviceClass::Camera, DeviceClass::FlightControl],
+            vec![DeviceClass::Gps],
+        );
+        (t, vd)
+    }
+
+    #[test]
+    fn waypoint_devices_only_at_waypoints() {
+        let (mut t, vd) = table();
+        assert!(!t.allows(vd, DeviceClass::Camera));
+        t.set_phase(vd, FlightPhase::AtWaypoint(0));
+        assert!(t.allows(vd, DeviceClass::Camera));
+        assert!(t.flight_control_allowed(vd));
+        t.set_phase(vd, FlightPhase::Transit);
+        assert!(!t.allows(vd, DeviceClass::Camera));
+        assert!(!t.flight_control_allowed(vd));
+    }
+
+    #[test]
+    fn continuous_devices_span_transit_but_not_prelude() {
+        let (mut t, vd) = table();
+        assert!(
+            !t.allows(vd, DeviceClass::Gps),
+            "not before the first waypoint"
+        );
+        t.set_phase(vd, FlightPhase::AtWaypoint(0));
+        assert!(t.allows(vd, DeviceClass::Gps));
+        t.set_phase(vd, FlightPhase::Transit);
+        assert!(t.allows(vd, DeviceClass::Gps), "held during transit");
+        t.set_phase(vd, FlightPhase::Finished);
+        assert!(!t.allows(vd, DeviceClass::Gps));
+    }
+
+    #[test]
+    fn suspension_overrides_continuous_access() {
+        let (mut t, vd) = table();
+        t.set_phase(vd, FlightPhase::Transit);
+        assert!(t.allows(vd, DeviceClass::Gps));
+        t.suspend_continuous(vd);
+        assert!(!t.allows(vd, DeviceClass::Gps));
+        // Waypoint devices are unaffected by suspension rules (they
+        // are prioritized above continuous access, paper Section 3).
+        t.set_phase(vd, FlightPhase::AtWaypoint(1));
+        assert!(t.allows(vd, DeviceClass::Camera));
+        t.resume_continuous(vd);
+        assert!(t.allows(vd, DeviceClass::Gps));
+    }
+
+    #[test]
+    fn unrequested_devices_are_never_allowed() {
+        let (mut t, vd) = table();
+        t.set_phase(vd, FlightPhase::AtWaypoint(0));
+        assert!(!t.allows(vd, DeviceClass::Microphone));
+    }
+
+    #[test]
+    fn unknown_containers_get_nothing() {
+        let (t, _) = table();
+        assert!(!t.allows(ContainerId(99), DeviceClass::Camera));
+    }
+
+    #[test]
+    fn device_container_is_unrestricted() {
+        let (t, _) = table();
+        assert!(t.allows(ContainerId(1), DeviceClass::Camera));
+    }
+}

@@ -1,0 +1,484 @@
+//! The Virtual Drone Controller daemon.
+//!
+//! A native host daemon (paper Section 4.4) that manages virtual
+//! drone containers across a flight: creates them from definitions,
+//! updates device access as waypoints are reached and left, tracks
+//! each virtual drone's energy/time allotment, delivers AnDrone SDK
+//! events, enforces permission revocation (terminating processes
+//! that keep using a device after notification), and saves
+//! interrupted virtual drones for a later flight.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use androne_android::{svc_codes, svc_names, DeviceClass};
+use androne_binder::{get_service, BinderDriver, Parcel};
+use androne_simkern::{ContainerId, Kernel, Pid};
+
+use crate::access::{AccessTable, FlightPhase};
+use crate::spec::{VirtualDroneSpec, WaypointSpec};
+
+/// Events delivered to a virtual drone's apps through the AnDrone
+/// SDK's `WaypointListener` (paper Figure 8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VdcEvent {
+    /// Arrived at a waypoint; flight control and waypoint devices
+    /// are now live.
+    WaypointActive {
+        /// Index into the spec's waypoint list.
+        index: usize,
+        /// The waypoint definition.
+        waypoint: WaypointSpec,
+    },
+    /// Leaving a waypoint; waypoint devices are being revoked.
+    WaypointInactive {
+        /// Index into the spec's waypoint list.
+        index: usize,
+    },
+    /// Energy allotment is running low.
+    LowEnergyWarning {
+        /// Joules remaining.
+        remaining_j: f64,
+    },
+    /// Time allotment is running low.
+    LowTimeWarning {
+        /// Seconds remaining.
+        remaining_s: f64,
+    },
+    /// The geofence was breached; control is suspended.
+    GeofenceBreached,
+    /// Continuous devices must be suspended (approaching another
+    /// party's waypoint).
+    SuspendContinuousDevices,
+    /// Continuous devices may resume.
+    ResumeContinuousDevices,
+}
+
+/// Fraction of the allotment remaining at which low-budget warnings
+/// fire.
+pub const WARNING_FRACTION: f64 = 0.2;
+
+/// Per-virtual-drone record.
+#[derive(Debug)]
+pub struct VdRecord {
+    /// Virtual drone name (container name).
+    pub name: String,
+    /// Kernel container id.
+    pub container: ContainerId,
+    /// The definition.
+    pub spec: VirtualDroneSpec,
+    energy_used_j: f64,
+    time_used_s: f64,
+    energy_warned: bool,
+    time_warned: bool,
+    waypoints_completed: usize,
+    events: VecDeque<VdcEvent>,
+    /// Files apps marked for upload to cloud storage.
+    pub marked_files: Vec<String>,
+    /// Set when the app called `waypointCompleted()`.
+    pub waypoint_done: bool,
+}
+
+impl VdRecord {
+    /// Joules remaining in the allotment.
+    pub fn energy_remaining_j(&self) -> f64 {
+        (self.spec.energy_allotted - self.energy_used_j).max(0.0)
+    }
+
+    /// Seconds remaining in the allotment.
+    pub fn time_remaining_s(&self) -> f64 {
+        (self.spec.max_duration - self.time_used_s).max(0.0)
+    }
+
+    /// Whether either allotment is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.energy_remaining_j() <= 0.0 || self.time_remaining_s() <= 0.0
+    }
+
+    /// Waypoints completed so far.
+    pub fn waypoints_completed(&self) -> usize {
+        self.waypoints_completed
+    }
+}
+
+/// The VDC daemon.
+pub struct Vdc {
+    access: Rc<RefCell<AccessTable>>,
+    records: BTreeMap<String, VdRecord>,
+    by_container: BTreeMap<ContainerId, String>,
+    /// The VDC's Binder identity (opened in the device container's
+    /// namespace) for service queries during enforcement.
+    binder_pid: Option<Pid>,
+}
+
+impl Vdc {
+    /// Creates a VDC around a shared access table.
+    pub fn new(access: Rc<RefCell<AccessTable>>) -> Self {
+        Vdc {
+            access,
+            records: BTreeMap::new(),
+            by_container: BTreeMap::new(),
+            binder_pid: None,
+        }
+    }
+
+    /// The shared access table (to hand to device services as their
+    /// policy).
+    pub fn access(&self) -> Rc<RefCell<AccessTable>> {
+        self.access.clone()
+    }
+
+    /// Sets the VDC's Binder identity for enforcement queries.
+    pub fn set_binder_identity(&mut self, pid: Pid) {
+        self.binder_pid = Some(pid);
+    }
+
+    /// Registers a virtual drone before flight.
+    pub fn register(&mut self, name: impl Into<String>, container: ContainerId, spec: VirtualDroneSpec) {
+        let name = name.into();
+        self.access.borrow_mut().register(
+            container,
+            spec.waypoint_classes(),
+            spec.continuous_classes(),
+        );
+        self.by_container.insert(container, name.clone());
+        self.records.insert(
+            name.clone(),
+            VdRecord {
+                name,
+                container,
+                spec,
+                energy_used_j: 0.0,
+                time_used_s: 0.0,
+                energy_warned: false,
+                time_warned: false,
+                waypoints_completed: 0,
+                events: VecDeque::new(),
+                marked_files: Vec::new(),
+                waypoint_done: false,
+            },
+        );
+    }
+
+    /// Removes a virtual drone (end of flight).
+    pub fn unregister(&mut self, name: &str) -> Option<VdRecord> {
+        let rec = self.records.remove(name)?;
+        self.access.borrow_mut().unregister(rec.container);
+        self.by_container.remove(&rec.container);
+        Some(rec)
+    }
+
+    /// Looks up a record.
+    pub fn record(&self, name: &str) -> Option<&VdRecord> {
+        self.records.get(name)
+    }
+
+    /// Iterates all records.
+    pub fn records(&self) -> impl Iterator<Item = &VdRecord> {
+        self.records.values()
+    }
+
+    /// The flight planner notifies the VDC that `name` has arrived
+    /// at its waypoint `index`. Other virtual drones holding
+    /// continuous devices are suspended for privacy (paper Section
+    /// 2).
+    pub fn on_waypoint_arrived(&mut self, name: &str, index: usize) {
+        let Some(rec) = self.records.get_mut(name) else {
+            return;
+        };
+        let container = rec.container;
+        let waypoint = rec.spec.waypoints.get(index).copied();
+        rec.waypoint_done = false;
+        if let Some(waypoint) = waypoint {
+            rec.events.push_back(VdcEvent::WaypointActive { index, waypoint });
+        }
+        self.access
+            .borrow_mut()
+            .set_phase(container, FlightPhase::AtWaypoint(index));
+
+        // Privacy: suspend other parties' continuous devices.
+        let others: Vec<String> = self
+            .records
+            .values()
+            .filter(|r| r.name != name && !r.spec.continuous_devices.is_empty())
+            .map(|r| r.name.clone())
+            .collect();
+        for other in others {
+            if let Some(r) = self.records.get_mut(&other) {
+                self.access.borrow_mut().suspend_continuous(r.container);
+                r.events.push_back(VdcEvent::SuspendContinuousDevices);
+            }
+        }
+    }
+
+    /// The flight planner notifies the VDC that `name` is leaving
+    /// waypoint `index`.
+    pub fn on_waypoint_departed(&mut self, name: &str, index: usize) {
+        let Some(rec) = self.records.get_mut(name) else {
+            return;
+        };
+        rec.waypoints_completed = rec.waypoints_completed.max(index + 1);
+        rec.events.push_back(VdcEvent::WaypointInactive { index });
+        let container = rec.container;
+        let finished = rec.waypoints_completed >= rec.spec.waypoints.len();
+        self.access.borrow_mut().set_phase(
+            container,
+            if finished {
+                FlightPhase::Finished
+            } else {
+                FlightPhase::Transit
+            },
+        );
+
+        // Resume other parties' continuous devices.
+        let others: Vec<String> = self
+            .records
+            .values()
+            .filter(|r| r.name != name && !r.spec.continuous_devices.is_empty())
+            .map(|r| r.name.clone())
+            .collect();
+        for other in others {
+            if let Some(r) = self.records.get_mut(&other) {
+                self.access.borrow_mut().resume_continuous(r.container);
+                r.events.push_back(VdcEvent::ResumeContinuousDevices);
+            }
+        }
+    }
+
+    /// Geofence breach notification (from the flight container).
+    pub fn on_geofence_breached(&mut self, name: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.events.push_back(VdcEvent::GeofenceBreached);
+        }
+    }
+
+    /// Charges energy consumed at a waypoint against the allotment,
+    /// emitting a low-energy warning at 20% remaining.
+    pub fn charge_energy(&mut self, name: &str, joules: f64) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.energy_used_j += joules.max(0.0);
+            let remaining = rec.energy_remaining_j();
+            if !rec.energy_warned && remaining <= WARNING_FRACTION * rec.spec.energy_allotted {
+                rec.energy_warned = true;
+                rec.events.push_back(VdcEvent::LowEnergyWarning {
+                    remaining_j: remaining,
+                });
+            }
+        }
+    }
+
+    /// Charges operating time against the allotment.
+    pub fn charge_time(&mut self, name: &str, seconds: f64) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.time_used_s += seconds.max(0.0);
+            let remaining = rec.time_remaining_s();
+            if !rec.time_warned && remaining <= WARNING_FRACTION * rec.spec.max_duration {
+                rec.time_warned = true;
+                rec.events.push_back(VdcEvent::LowTimeWarning {
+                    remaining_s: remaining,
+                });
+            }
+        }
+    }
+
+    /// SDK: the app declares its waypoint task complete.
+    pub fn waypoint_completed(&mut self, name: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.waypoint_done = true;
+        }
+    }
+
+    /// SDK: marks a file for upload to cloud storage after flight.
+    pub fn mark_file(&mut self, name: &str, path: impl Into<String>) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.marked_files.push(path.into());
+        }
+    }
+
+    /// SDK: drains pending events for a virtual drone.
+    pub fn drain_events(&mut self, name: &str) -> Vec<VdcEvent> {
+        match self.records.get_mut(name) {
+            Some(rec) => rec.events.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flight-container query: may this virtual drone control the
+    /// flight right now?
+    pub fn flight_control_allowed(&self, container: ContainerId) -> bool {
+        self.access.borrow().flight_control_allowed(container)
+    }
+
+    /// Enforces revocation after a waypoint departure: queries each
+    /// device service for processes of `name`'s container still
+    /// holding sessions, and terminates them (paper Section 4.4:
+    /// apps may ignore the revocation notification, so the VDC asks
+    /// the services and kills the holdouts). Returns the pids
+    /// terminated.
+    pub fn enforce_revocation(
+        &mut self,
+        driver: &mut BinderDriver,
+        kernel: &mut Kernel,
+        name: &str,
+    ) -> Vec<Pid> {
+        let Some(rec) = self.records.get(name) else {
+            return Vec::new();
+        };
+        let Some(vdc_pid) = self.binder_pid else {
+            return Vec::new();
+        };
+        let container = rec.container;
+        let mut killed = Vec::new();
+        for service in svc_names::TABLE_1 {
+            let Ok(handle) = get_service(driver, vdc_pid, service) else {
+                continue;
+            };
+            let mut q = Parcel::new();
+            q.push_i32(container.0 as i32);
+            let Ok(reply) = driver.transact(vdc_pid, handle, svc_codes::QUERY_USERS, q) else {
+                continue;
+            };
+            let n = reply.i32_at(0).unwrap_or(0) as usize;
+            for i in 0..n {
+                if let Ok(raw) = reply.i32_at(1 + i) {
+                    let pid = Pid(raw as u32);
+                    if kernel.tasks.kill(pid).is_ok() {
+                        driver.kill_process(pid);
+                        killed.push(pid);
+                    }
+                }
+            }
+        }
+        killed
+    }
+
+    /// Whether `device` access is currently allowed for `name`
+    /// (diagnostics).
+    pub fn allows(&self, name: &str, device: DeviceClass) -> bool {
+        match self.records.get(name) {
+            Some(rec) => {
+                use androne_android::DevicePolicy;
+                self.access.borrow().allows(rec.container, device)
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vdc_with(spec: VirtualDroneSpec) -> (Vdc, ContainerId) {
+        let access = Rc::new(RefCell::new(AccessTable::new()));
+        let mut vdc = Vdc::new(access);
+        let c = ContainerId(10);
+        vdc.register("vd1", c, spec);
+        (vdc, c)
+    }
+
+    #[test]
+    fn waypoint_cycle_toggles_device_access() {
+        let (mut vdc, _) = vdc_with(VirtualDroneSpec::example_survey());
+        assert!(!vdc.allows("vd1", DeviceClass::Camera));
+        vdc.on_waypoint_arrived("vd1", 0);
+        assert!(vdc.allows("vd1", DeviceClass::Camera));
+        let events = vdc.drain_events("vd1");
+        assert!(matches!(events[0], VdcEvent::WaypointActive { index: 0, .. }));
+        vdc.on_waypoint_departed("vd1", 0);
+        assert!(!vdc.allows("vd1", DeviceClass::Camera));
+        assert_eq!(
+            vdc.drain_events("vd1"),
+            vec![VdcEvent::WaypointInactive { index: 0 }]
+        );
+    }
+
+    #[test]
+    fn finishing_all_waypoints_ends_access() {
+        let (mut vdc, c) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.on_waypoint_arrived("vd1", 0);
+        vdc.on_waypoint_departed("vd1", 0);
+        vdc.on_waypoint_arrived("vd1", 1);
+        vdc.on_waypoint_departed("vd1", 1);
+        assert_eq!(
+            vdc.access().borrow().phase(c),
+            Some(FlightPhase::Finished)
+        );
+        assert_eq!(vdc.record("vd1").unwrap().waypoints_completed(), 2);
+    }
+
+    #[test]
+    fn energy_warning_fires_once_at_twenty_percent() {
+        let (mut vdc, _) = vdc_with(VirtualDroneSpec::example_survey());
+        // Allotment is 45,000 J.
+        vdc.charge_energy("vd1", 30_000.0);
+        assert!(vdc.drain_events("vd1").is_empty());
+        vdc.charge_energy("vd1", 7_000.0);
+        let events = vdc.drain_events("vd1");
+        assert!(matches!(
+            events[0],
+            VdcEvent::LowEnergyWarning { remaining_j } if (remaining_j - 8_000.0).abs() < 1.0
+        ));
+        vdc.charge_energy("vd1", 1_000.0);
+        assert!(vdc.drain_events("vd1").is_empty(), "warning fires once");
+    }
+
+    #[test]
+    fn time_exhaustion_is_reported() {
+        let (mut vdc, _) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.charge_time("vd1", 700.0);
+        assert!(vdc.record("vd1").unwrap().exhausted());
+    }
+
+    #[test]
+    fn another_partys_waypoint_suspends_continuous_devices() {
+        let access = Rc::new(RefCell::new(AccessTable::new()));
+        let mut vdc = Vdc::new(access);
+        // vd-cont holds a continuous GPS; vd-other owns the waypoint.
+        let mut spec_cont = VirtualDroneSpec::example_survey();
+        spec_cont.continuous_devices = vec!["gps".into()];
+        vdc.register("vd-cont", ContainerId(10), spec_cont);
+        vdc.register("vd-other", ContainerId(11), VirtualDroneSpec::example_survey());
+
+        // vd-cont starts operating (continuous access begins).
+        vdc.on_waypoint_arrived("vd-cont", 0);
+        vdc.on_waypoint_departed("vd-cont", 0);
+        vdc.drain_events("vd-cont");
+        assert!(vdc.allows("vd-cont", DeviceClass::Gps));
+
+        // The drone reaches vd-other's waypoint: vd-cont suspends.
+        vdc.on_waypoint_arrived("vd-other", 0);
+        assert!(!vdc.allows("vd-cont", DeviceClass::Gps));
+        assert_eq!(
+            vdc.drain_events("vd-cont"),
+            vec![VdcEvent::SuspendContinuousDevices]
+        );
+
+        // Departure resumes.
+        vdc.on_waypoint_departed("vd-other", 0);
+        assert!(vdc.allows("vd-cont", DeviceClass::Gps));
+        assert_eq!(
+            vdc.drain_events("vd-cont"),
+            vec![VdcEvent::ResumeContinuousDevices]
+        );
+    }
+
+    #[test]
+    fn marked_files_accumulate() {
+        let (mut vdc, _) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.mark_file("vd1", "/data/survey/ortho.tif");
+        vdc.mark_file("vd1", "/data/survey/report.json");
+        assert_eq!(vdc.record("vd1").unwrap().marked_files.len(), 2);
+    }
+
+    #[test]
+    fn unregister_clears_access() {
+        let (mut vdc, c) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.on_waypoint_arrived("vd1", 0);
+        let rec = vdc.unregister("vd1").unwrap();
+        assert_eq!(rec.container, c);
+        assert!(!vdc.allows("vd1", DeviceClass::Camera));
+        assert!(vdc.record("vd1").is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's Section 6.2 hover-stability check: "we operated our
+//! drone prototype at a hover and compared its performance while
+//! running the idle and PassMark scenarios ... analyzed logs of each
+//! flight using DroneKit's Log Analyzer ... Both scenarios were
+//! within normal divergence."
+
+use androne::hal::GeoPoint;
+use androne::simkern::SimDuration;
+use androne::vdc::{VirtualDroneSpec, WaypointSpec};
+use androne::workloads::run_concurrent;
+use androne::Drone;
+
+const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
+
+fn spec() -> VirtualDroneSpec {
+    VirtualDroneSpec {
+        waypoints: vec![WaypointSpec {
+            latitude: BASE.latitude,
+            longitude: BASE.longitude,
+            altitude: 15.0,
+            max_radius: 30.0,
+        }],
+        max_duration: 600.0,
+        energy_allotted: 45_000.0,
+        continuous_devices: vec![],
+        waypoint_devices: vec!["camera".into()],
+        apps: vec![],
+        app_args: Default::default(),
+    }
+}
+
+fn hover_aed(seed: u64, run_passmark: bool) -> androne::flight::AedReport {
+    let mut drone = Drone::boot(BASE, seed).unwrap();
+    for i in 1..=3 {
+        drone.deploy_vdrone(&format!("vd{i}"), spec(), &[]).unwrap();
+    }
+    assert!(drone.sitl.arm_and_takeoff(10.0, SimDuration::from_secs(30)));
+    if run_passmark {
+        // Three virtual drones run PassMark while the drone hovers
+        // (the kernel-side load is what could disturb the fast loop).
+        let mut k = drone.kernel.lock();
+        let _scores = run_concurrent(&mut k, 3, true);
+        k.add_interference(androne::simkern::latency::profiles::passmark_load());
+    }
+    drone.sitl.run_for(SimDuration::from_secs(60));
+    drone.sitl.recorder.aed_analysis()
+}
+
+#[test]
+fn idle_hover_is_within_normal_divergence() {
+    let report = hover_aed(621, false);
+    assert!(report.passes(), "violations: {:?}", report.violations);
+    assert!(report.samples > 500, "a full minute of ATT records");
+    assert!(
+        report.peak_rad < androne::flight::AED_THRESHOLD_RAD,
+        "peak {:.2} deg",
+        report.peak_rad.to_degrees()
+    );
+}
+
+#[test]
+fn passmark_hover_is_within_normal_divergence() {
+    let report = hover_aed(622, true);
+    assert!(report.passes(), "violations: {:?}", report.violations);
+}

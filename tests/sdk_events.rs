@@ -1,0 +1,170 @@
+//! End-to-end SDK event delivery: an app's `WaypointListener`
+//! receives the paper's Figure 8 callbacks as the flight progresses,
+//! without the app polling the VDC itself.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use androne::flight_exec::execute_flight;
+use androne::hal::GeoPoint;
+use androne::planner::{FlightPlan, Leg};
+use androne::sdk::WaypointListener;
+use androne::vdc::{VirtualDroneSpec, WaypointSpec};
+use androne::Drone;
+
+const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
+
+/// A listener backed by shared state so the test can inspect it
+/// after the boxed listener is registered.
+#[derive(Default)]
+struct SharedLog(Rc<RefCell<Vec<String>>>);
+
+impl WaypointListener for SharedLog {
+    fn waypoint_active(&mut self, _waypoint: WaypointSpec, index: usize) {
+        self.0.borrow_mut().push(format!("active({index})"));
+    }
+    fn waypoint_inactive(&mut self, index: usize) {
+        self.0.borrow_mut().push(format!("inactive({index})"));
+    }
+    fn low_energy_warning(&mut self, _remaining_j: f64) {
+        self.0.borrow_mut().push("lowEnergy".into());
+    }
+    fn low_time_warning(&mut self, _remaining_s: f64) {
+        self.0.borrow_mut().push("lowTime".into());
+    }
+    fn suspend_continuous_devices(&mut self) {
+        self.0.borrow_mut().push("suspend".into());
+    }
+    fn resume_continuous_devices(&mut self) {
+        self.0.borrow_mut().push("resume".into());
+    }
+}
+
+fn spec(waypoints: Vec<WaypointSpec>, continuous: Vec<&str>) -> VirtualDroneSpec {
+    VirtualDroneSpec {
+        waypoints,
+        // Tight enough that the low-time warning fires within the
+        // first waypoint's service window.
+        max_duration: 7.0,
+        energy_allotted: 40_000.0,
+        continuous_devices: continuous.into_iter().map(String::from).collect(),
+        waypoint_devices: vec!["camera".into(), "flight-control".into()],
+        apps: vec![],
+        app_args: Default::default(),
+    }
+}
+
+fn wp(north: f64, east: f64) -> WaypointSpec {
+    let p = BASE.offset_m(north, east, 15.0);
+    WaypointSpec {
+        latitude: p.latitude,
+        longitude: p.longitude,
+        altitude: 15.0,
+        max_radius: 35.0,
+    }
+}
+
+#[test]
+fn listener_receives_waypoint_cycle_during_flight() {
+    let mut drone = Drone::boot(BASE, 81).unwrap();
+    drone
+        .deploy_vdrone("vd1", spec(vec![wp(60.0, 0.0)], vec![]), &[])
+        .unwrap();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    drone
+        .vdrones
+        .get_mut("vd1")
+        .unwrap()
+        .sdk
+        .register_waypoint_listener(Box::new(SharedLog(log.clone())));
+
+    let plan = FlightPlan {
+        base: BASE,
+        legs: vec![Leg {
+            owner: "vd1".into(),
+            position: BASE.offset_m(60.0, 0.0, 15.0),
+            max_radius_m: 35.0,
+            service_energy_j: 40_000.0,
+            service_time_s: 6.0,
+            eta_s: 0.0,
+        }],
+        estimated_duration_s: 120.0,
+        estimated_energy_j: 50_000.0,
+    };
+    let outcome = execute_flight(&mut drone, plan, 240.0, None);
+    assert!(outcome.completed);
+
+    let log = log.borrow();
+    assert!(
+        log.contains(&"active(0)".to_string()),
+        "waypointActive delivered: {log:?}"
+    );
+    assert!(
+        log.contains(&"inactive(0)".to_string()),
+        "waypointInactive delivered: {log:?}"
+    );
+    // The 7 s time allotment drains during the 6 s service window;
+    // the low-time warning fires before the window closes.
+    assert!(
+        log.contains(&"lowTime".to_string()),
+        "lowTimeWarning delivered: {log:?}"
+    );
+    let active_at = log.iter().position(|e| e == "active(0)").unwrap();
+    let inactive_at = log.iter().position(|e| e == "inactive(0)").unwrap();
+    assert!(active_at < inactive_at, "callbacks arrive in order");
+}
+
+#[test]
+fn continuous_tenant_sees_suspend_resume_around_foreign_waypoint() {
+    let mut drone = Drone::boot(BASE, 82).unwrap();
+    // vd-cont holds continuous GPS across two waypoints; vd-other's
+    // waypoint is visited in between.
+    drone
+        .deploy_vdrone(
+            "vd-cont",
+            spec(vec![wp(50.0, 0.0), wp(50.0, 80.0)], vec!["gps"]),
+            &[],
+        )
+        .unwrap();
+    drone
+        .deploy_vdrone("vd-other", spec(vec![wp(50.0, 40.0)], vec![]), &[])
+        .unwrap();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    drone
+        .vdrones
+        .get_mut("vd-cont")
+        .unwrap()
+        .sdk
+        .register_waypoint_listener(Box::new(SharedLog(log.clone())));
+
+    let mk_leg = |owner: &str, north: f64, east: f64| Leg {
+        owner: owner.into(),
+        position: BASE.offset_m(north, east, 15.0),
+        max_radius_m: 35.0,
+        service_energy_j: 40_000.0,
+        service_time_s: 4.0,
+        eta_s: 0.0,
+    };
+    let plan = FlightPlan {
+        base: BASE,
+        legs: vec![
+            mk_leg("vd-cont", 50.0, 0.0),
+            mk_leg("vd-other", 50.0, 40.0),
+            mk_leg("vd-cont", 50.0, 80.0),
+        ],
+        estimated_duration_s: 200.0,
+        estimated_energy_j: 100_000.0,
+    };
+    let outcome = execute_flight(&mut drone, plan, 300.0, None);
+    assert!(outcome.completed, "{:?}", outcome.log);
+
+    let log = log.borrow();
+    let suspend = log.iter().position(|e| e == "suspend");
+    let resume = log.iter().position(|e| e == "resume");
+    assert!(suspend.is_some(), "suspend delivered: {log:?}");
+    assert!(resume.is_some(), "resume delivered: {log:?}");
+    assert!(suspend < resume, "suspend precedes resume: {log:?}");
+    // And both of vd-cont's own waypoints cycled.
+    assert!(log.contains(&"active(0)".to_string()));
+    assert!(log.contains(&"active(1)".to_string()));
+}
