@@ -19,7 +19,7 @@ fn measure(link: LinkModel, n: u64, seed: u64) -> (Summary, u64) {
     let mut latency = Summary::new();
     for i in 0..n {
         let sent_at = t;
-        let msg = if i % 2 == 0 {
+        let msg = if i.is_multiple_of(2) {
             Message::CommandLong {
                 command: MavCmd::ConditionYaw,
                 params: [((i % 360) as f32), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],

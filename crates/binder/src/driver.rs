@@ -24,7 +24,7 @@
 //! descriptors between per-process tables in flight.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use androne_container::DeviceNamespaceId;
@@ -91,16 +91,28 @@ struct Node {
     alive: bool,
 }
 
+/// Sentinel in the node→handle slab meaning "no handle yet" (real
+/// handles start at 1; 0 is the Context Manager alias).
+const NO_HANDLE: u32 = 0;
+
 struct ProcState {
     euid: Euid,
     container: ContainerId,
     device_ns: DeviceNamespaceId,
-    /// handle -> node. Handle 0 is reserved for the Context Manager.
-    handles: BTreeMap<u32, NodeId>,
-    /// Reverse map to keep handle allocation stable per node.
-    by_node: BTreeMap<NodeId, u32>,
+    /// handle -> node, indexed by handle number. Handle 0 is
+    /// reserved for the Context Manager, so slot 0 stays `None`.
+    /// Handles are allocated densely and never freed, which keeps
+    /// the table a flat slab: resolution is one bounds-checked load
+    /// instead of a tree walk.
+    handles: Vec<Option<NodeId>>,
+    /// Reverse slab: node id -> handle (`NO_HANDLE` = none), keeping
+    /// handle allocation stable per node. Node ids are dense
+    /// (allocated sequentially by the driver), so indexing by
+    /// `NodeId.0` wastes at most slot 0.
+    by_node: Vec<u32>,
     next_handle: u32,
-    fds: BTreeMap<u32, FileRef>,
+    /// fd -> open file, indexed by fd number. fds 0-2 are reserved.
+    fds: Vec<Option<FileRef>>,
     next_fd: u32,
     alive: bool,
     /// Handles whose nodes died while a death link was registered
@@ -109,21 +121,46 @@ struct ProcState {
 }
 
 impl ProcState {
+    fn handle_for(&self, node: NodeId) -> Option<u32> {
+        match self.by_node.get(node.0 as usize) {
+            Some(&h) if h != NO_HANDLE => Some(h),
+            _ => None,
+        }
+    }
+
+    fn node_for(&self, handle: u32) -> Option<NodeId> {
+        self.handles.get(handle as usize).copied().flatten()
+    }
+
     fn insert_handle(&mut self, node: NodeId) -> u32 {
-        if let Some(&h) = self.by_node.get(&node) {
+        if let Some(h) = self.handle_for(node) {
             return h;
         }
         let h = self.next_handle;
         self.next_handle += 1;
-        self.handles.insert(h, node);
-        self.by_node.insert(node, h);
+        if self.handles.len() <= h as usize {
+            self.handles.resize(h as usize + 1, None);
+        }
+        self.handles[h as usize] = Some(node);
+        let idx = node.0 as usize;
+        if self.by_node.len() <= idx {
+            self.by_node.resize(idx + 1, NO_HANDLE);
+        }
+        self.by_node[idx] = h;
         h
+    }
+
+    fn file_for(&self, fd: u32) -> Option<&FileRef> {
+        self.fds.get(fd as usize).and_then(|f| f.as_ref())
     }
 
     fn insert_fd(&mut self, file: FileRef) -> u32 {
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.fds.insert(fd, file);
+        if self.fds.len() <= fd as usize {
+            self.fds.resize(fd as usize + 1, None);
+        }
+        self.fds[fd as usize] = Some(file);
         fd
     }
 }
@@ -150,9 +187,11 @@ pub fn transaction_cost(wire_size: usize) -> SimDuration {
 
 /// The Binder driver instance for one board.
 pub struct BinderDriver {
-    procs: BTreeMap<Pid, ProcState>,
-    nodes: BTreeMap<NodeId, Node>,
-    next_node: u64,
+    procs: HashMap<Pid, ProcState>,
+    /// Node slab: `NodeId(n)` lives at `nodes[n - 1]`. Node ids are
+    /// allocated sequentially from 1 and nodes are never removed
+    /// (death only clears `alive`), so lookups are direct indexing.
+    nodes: Vec<Node>,
     context_managers: BTreeMap<DeviceNamespaceId, NodeId>,
     /// The container allowed to call `PUBLISH_TO_ALL_NS`.
     device_container: Option<(ContainerId, DeviceNamespaceId)>,
@@ -161,6 +200,12 @@ pub struct BinderDriver {
     published_shared: Vec<(String, NodeId)>,
     /// Death links: node -> processes watching it (`linkToDeath`).
     death_links: BTreeMap<NodeId, Vec<Pid>>,
+    /// Memoized handle translations: (src, dst) -> src handle -> dst
+    /// handle. Sound because handle tables grow monotonically — a
+    /// handle, once allocated, refers to the same node forever.
+    /// Handle 0 (the per-namespace Context Manager alias) is never
+    /// cached since a namespace's CM can be replaced after death.
+    translation_cache: HashMap<(Pid, Pid), HashMap<u32, u32>>,
     stats: DriverStats,
 }
 
@@ -174,15 +219,21 @@ impl BinderDriver {
     /// Creates an empty driver.
     pub fn new() -> Self {
         BinderDriver {
-            procs: BTreeMap::new(),
-            nodes: BTreeMap::new(),
-            next_node: 1,
+            procs: HashMap::new(),
+            nodes: Vec::new(),
             context_managers: BTreeMap::new(),
             device_container: None,
             published_shared: Vec::new(),
             death_links: BTreeMap::new(),
+            translation_cache: HashMap::new(),
             stats: DriverStats::default(),
         }
+    }
+
+    fn node(&self, id: NodeId) -> Option<&Node> {
+        // NodeId(0) is never allocated; the subtraction cannot wrap
+        // for valid ids and an id of 0 misses via checked_sub.
+        self.nodes.get(usize::try_from(id.0).ok()?.checked_sub(1)?)
     }
 
     /// Marks `container` (in `ns`) as the device container, enabling
@@ -208,10 +259,10 @@ impl BinderDriver {
             euid,
             container,
             device_ns,
-            handles: BTreeMap::new(),
-            by_node: BTreeMap::new(),
+            handles: Vec::new(),
+            by_node: Vec::new(),
             next_handle: 1,
-            fds: BTreeMap::new(),
+            fds: Vec::new(),
             next_fd: 3,
             alive: true,
             death_queue: Vec::new(),
@@ -236,16 +287,12 @@ impl BinderDriver {
     /// a handle valid in the owner's table.
     pub fn create_node(&mut self, pid: Pid, handler: ServiceRef) -> Result<u32, BinderError> {
         self.proc(pid)?;
-        let id = NodeId(self.next_node);
-        self.next_node += 1;
-        self.nodes.insert(
-            id,
-            Node {
-                owner: pid,
-                handler,
-                alive: true,
-            },
-        );
+        self.nodes.push(Node {
+            owner: pid,
+            handler,
+            alive: true,
+        });
+        let id = NodeId(self.nodes.len() as u64);
         Ok(self.proc_mut(pid)?.insert_handle(id))
     }
 
@@ -260,8 +307,8 @@ impl BinderDriver {
     pub fn set_context_manager(&mut self, pid: Pid, handle: u32) -> Result<(), BinderError> {
         let ns = self.proc(pid)?.device_ns;
         let node = self.resolve_handle(pid, handle)?;
-        if let Some(existing) = self.context_managers.get(&ns) {
-            if self.nodes.get(existing).is_some_and(|n| n.alive) {
+        if let Some(&existing) = self.context_managers.get(&ns) {
+            if self.node(existing).is_some_and(|n| n.alive) {
                 return Err(BinderError::ContextManagerExists);
             }
         }
@@ -275,7 +322,7 @@ impl BinderDriver {
             let replay: Vec<(String, NodeId)> = self
                 .published_shared
                 .iter()
-                .filter(|(_, n)| self.nodes.get(n).is_some_and(|node| node.alive))
+                .filter(|(_, n)| self.node(*n).is_some_and(|node| node.alive))
                 .cloned()
                 .collect();
             for (name, service_node) in replay {
@@ -299,50 +346,62 @@ impl BinderDriver {
                 .copied()
                 .ok_or(BinderError::NoContextManager);
         }
-        proc.handles
-            .get(&handle)
-            .copied()
-            .ok_or(BinderError::BadHandle(handle))
+        proc.node_for(handle).ok_or(BinderError::BadHandle(handle))
+    }
+
+    /// Translates one binder handle from `from`'s table into `to`'s,
+    /// memoizing the result. Handle 0 is excluded from the cache
+    /// because the Context Manager it aliases can change.
+    fn translate_handle(&mut self, from: Pid, to: Pid, handle: u32) -> Result<u32, BinderError> {
+        if handle != 0 {
+            if let Some(&dst) = self
+                .translation_cache
+                .get(&(from, to))
+                .and_then(|m| m.get(&handle))
+            {
+                return Ok(dst);
+            }
+        }
+        let node = self.resolve_handle(from, handle)?;
+        let dst = self.proc_mut(to)?.insert_handle(node);
+        if handle != 0 {
+            self.translation_cache
+                .entry((from, to))
+                .or_default()
+                .insert(handle, dst);
+        }
+        Ok(dst)
     }
 
     /// Translates a parcel's binder handles and fds from `from`'s
     /// tables into `to`'s tables.
+    ///
+    /// Scalar-only parcels (no handles, no fds — the bulk of sensor
+    /// and telemetry traffic) return immediately without touching
+    /// the parcel's copy-on-write storage.
     fn translate_parcel(
         &mut self,
         parcel: &mut Parcel,
         from: Pid,
         to: Pid,
     ) -> Result<(), BinderError> {
-        // Collect resolutions first (immutable), then apply (mutable).
-        let mut binder_nodes = Vec::new();
-        let mut fd_files = Vec::new();
-        for v in parcel.values() {
+        if !parcel.has_object_refs() {
+            // Fast path: nothing to rewrite, but still verify both
+            // endpoints exist (matching the slow path's checks).
+            self.proc(from)?;
+            self.proc(to)?;
+            return Ok(());
+        }
+        for v in parcel.values_mut() {
             match v {
-                PValue::Binder(h) => binder_nodes.push(self.resolve_handle(from, *h)?),
+                PValue::Binder(h) => *h = self.translate_handle(from, to, *h)?,
                 PValue::Fd(fd) => {
                     let file = self
                         .proc(from)?
-                        .fds
-                        .get(fd)
+                        .file_for(*fd)
                         .cloned()
                         .ok_or(BinderError::BadFd(*fd))?;
-                    fd_files.push(file);
-                }
-                _ => {}
-            }
-        }
-        let target = self.proc_mut(to)?;
-        let mut bi = 0;
-        let mut fi = 0;
-        for v in parcel.values_mut() {
-            match v {
-                PValue::Binder(h) => {
-                    *h = target.insert_handle(binder_nodes[bi]);
-                    bi += 1;
-                }
-                PValue::Fd(fd) => {
-                    *fd = target.insert_fd(fd_files[fi].clone());
-                    fi += 1;
+                    *fd = self.proc_mut(to)?.insert_fd(file);
                 }
                 _ => {}
             }
@@ -361,7 +420,7 @@ impl BinderDriver {
     ) -> Result<Parcel, BinderError> {
         let node_id = self.resolve_handle(caller, handle)?;
         let (target_pid, handler) = {
-            let node = self.nodes.get(&node_id).ok_or(BinderError::DeadObject)?;
+            let node = self.node(node_id).ok_or(BinderError::DeadObject)?;
             if !node.alive {
                 return Err(BinderError::DeadObject);
             }
@@ -399,7 +458,7 @@ impl BinderDriver {
         data: Parcel,
     ) -> Result<Parcel, BinderError> {
         let handler = {
-            let node = self.nodes.get(&node_id).ok_or(BinderError::DeadObject)?;
+            let node = self.node(node_id).ok_or(BinderError::DeadObject)?;
             if !node.alive {
                 return Err(BinderError::DeadObject);
             }
@@ -418,7 +477,7 @@ impl BinderDriver {
         name: &str,
         service_node: NodeId,
     ) -> Result<(), BinderError> {
-        let cm_owner = self.nodes.get(&cm).ok_or(BinderError::DeadObject)?.owner;
+        let cm_owner = self.node(cm).ok_or(BinderError::DeadObject)?.owner;
         let handle = self.proc_mut(cm_owner)?.insert_handle(service_node);
         let mut data = Parcel::new();
         data.push_str(name).push_binder(handle);
@@ -493,8 +552,7 @@ impl BinderDriver {
     /// Reads the file description behind a process's fd.
     pub fn file(&self, pid: Pid, fd: u32) -> Result<FileRef, BinderError> {
         self.proc(pid)?
-            .fds
-            .get(&fd)
+            .file_for(fd)
             .cloned()
             .ok_or(BinderError::BadFd(fd))
     }
@@ -509,7 +567,7 @@ impl BinderDriver {
     /// `handle` dies, the caller receives a death notification.
     pub fn link_to_death(&mut self, watcher: Pid, handle: u32) -> Result<(), BinderError> {
         let node = self.resolve_handle(watcher, handle)?;
-        if !self.nodes.get(&node).is_some_and(|n| n.alive) {
+        if !self.node(node).is_some_and(|n| n.alive) {
             return Err(BinderError::DeadObject);
         }
         let watchers = self.death_links.entry(node).or_default();
@@ -536,10 +594,10 @@ impl BinderDriver {
             p.alive = false;
         }
         let mut died = Vec::new();
-        for (id, node) in self.nodes.iter_mut() {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             if node.owner == pid && node.alive {
                 node.alive = false;
-                died.push(*id);
+                died.push(NodeId(i as u64 + 1));
             }
         }
         for node in died {
@@ -551,7 +609,7 @@ impl BinderDriver {
                     if !p.alive {
                         continue;
                     }
-                    if let Some(&handle) = p.by_node.get(&node) {
+                    if let Some(handle) = p.handle_for(node) {
                         p.death_queue.push(handle);
                     }
                 }
@@ -561,7 +619,7 @@ impl BinderDriver {
 
     /// Whether a node is still alive (diagnostics).
     pub fn node_alive(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).is_some_and(|n| n.alive)
+        self.node(node).is_some_and(|n| n.alive)
     }
 }
 
@@ -659,6 +717,69 @@ mod tests {
     fn transaction_cost_scales_with_payload() {
         assert!(transaction_cost(4096) > transaction_cost(8));
         assert!(transaction_cost(8).as_micros() >= 32);
+    }
+
+    #[test]
+    fn scalar_parcels_skip_translation_without_copying() {
+        let (mut d, server, client, _) = setup();
+        let mut p = Parcel::new();
+        p.push_i32(7).push_str("telemetry").push_f64(1.5);
+        let snapshot = p.clone();
+        d.translate_parcel(&mut p, server, client).unwrap();
+        assert!(
+            p.shares_storage_with(&snapshot),
+            "no-objref parcels must not be rewritten (or copied)"
+        );
+    }
+
+    #[test]
+    fn fast_path_still_validates_endpoints() {
+        let (mut d, server, _, _) = setup();
+        let mut p = Parcel::new();
+        p.push_i32(1);
+        assert!(matches!(
+            d.translate_parcel(&mut p, server, Pid(404)),
+            Err(BinderError::NotOpened(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_translations_hit_the_cache() {
+        let (mut d, server, client, handle) = setup();
+        // Prime + repeat: the same (src, dst, handle) triple must
+        // keep resolving to the same destination handle.
+        for _ in 0..3 {
+            let mut p = Parcel::new();
+            p.push_binder(1);
+            d.translate_parcel(&mut p, server, client).unwrap();
+            assert_eq!(p.binder_at(0).unwrap(), handle);
+        }
+        let cached = d
+            .translation_cache
+            .get(&(server, client))
+            .and_then(|m| m.get(&1))
+            .copied();
+        assert_eq!(cached, Some(handle));
+    }
+
+    #[test]
+    fn fds_are_duplicated_per_translation() {
+        let (mut d, server, client, _) = setup();
+        let (file, _producer) = crate::fd::new_stream("cam0");
+        let fd = d.install_fd(server, file).unwrap();
+        let mut first = Parcel::new();
+        first.push_fd(fd);
+        d.translate_parcel(&mut first, server, client).unwrap();
+        let mut second = Parcel::new();
+        second.push_fd(fd);
+        d.translate_parcel(&mut second, server, client).unwrap();
+        // fd transfer installs a fresh descriptor each time (dup
+        // semantics), unlike binder handles which stay stable.
+        assert_ne!(first.fd_at(0).unwrap(), second.fd_at(0).unwrap());
+        // Both descriptors refer to the same open file description.
+        let a = d.file(client, first.fd_at(0).unwrap()).unwrap();
+        let b = d.file(client, second.fd_at(0).unwrap()).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
     }
 }
 

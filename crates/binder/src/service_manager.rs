@@ -73,9 +73,10 @@ impl ServiceManager {
         }
     }
 
-    /// Names currently registered (diagnostics/tests).
-    pub fn service_names(&self) -> Vec<String> {
-        self.services.keys().cloned().collect()
+    /// Names currently registered (diagnostics/tests), borrowed —
+    /// callers that need owned strings can collect.
+    pub fn service_names(&self) -> impl Iterator<Item = &str> {
+        self.services.keys().map(String::as_str)
     }
 
     /// Whether a name is registered.
@@ -128,10 +129,12 @@ impl ServiceManager {
     }
 
     fn list_services(&self) -> Parcel {
+        // The only allocations here are the reply parcel's own
+        // strings; the registry itself is iterated borrowed.
         let mut reply = Parcel::new();
         reply.push_i32(self.services.len() as i32);
-        for name in self.services.keys() {
-            reply.push_str(name.clone());
+        for name in self.service_names() {
+            reply.push_str(name);
         }
         reply
     }

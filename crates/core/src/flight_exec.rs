@@ -206,7 +206,7 @@ pub fn execute_flight(
         // Once per simulated second: budget charging, completion
         // polling, breach propagation, SDK event delivery, abort
         // checks.
-        if step % 400 == 0 {
+        if step.is_multiple_of(400) {
             drone.pump_sdk_events();
             drone.pump_camera_streams();
             if let Some(a) = active.as_mut() {

@@ -18,6 +18,7 @@
 //! continues.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use androne_hal::GeoPoint;
 use androne_mavlink::{deg_to_e7, FlightMode, Message};
@@ -45,7 +46,16 @@ struct BreachRecovery {
 
 struct ClientConn {
     vfc: Option<Vfc>,
-    outbox: Vec<Message>,
+    /// Pending messages. Shared references: one telemetry message
+    /// fanned out to N identity-view clients is stored once, not N
+    /// times.
+    outbox: Vec<Rc<Message>>,
+}
+
+impl ClientConn {
+    fn queue(&mut self, msg: Message) {
+        self.outbox.push(Rc::new(msg));
+    }
 }
 
 /// The multiplexing proxy in the flight container.
@@ -145,25 +155,36 @@ impl MavProxy {
             None => {
                 // Unrestricted: straight through.
                 let replies = sitl.handle_message(&msg);
-                conn.outbox.extend(replies);
+                conn.outbox.extend(replies.into_iter().map(Rc::new));
                 self.commands_forwarded += 1;
             }
             Some(vfc) => match vfc.on_client_message(&msg) {
                 VfcDecision::Forward(m) => {
                     let replies = sitl.handle_message(&m);
-                    conn.outbox.extend(replies);
+                    conn.outbox.extend(replies.into_iter().map(Rc::new));
                     self.commands_forwarded += 1;
                 }
                 VfcDecision::Deny(reply) => {
-                    conn.outbox.push(reply);
+                    conn.queue(reply);
                     self.commands_denied += 1;
                 }
             },
         }
     }
 
-    /// Drains a client's pending messages (telemetry + replies).
+    /// Drains a client's pending messages (telemetry + replies) as
+    /// owned values. Messages still shared with other outboxes are
+    /// copied out; uniquely held ones are moved.
     pub fn client_recv(&mut self, name: &str) -> Vec<Message> {
+        self.client_recv_shared(name)
+            .into_iter()
+            .map(|rc| Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
+            .collect()
+    }
+
+    /// Zero-copy drain: the shared references themselves. The hot
+    /// path for consumers that only inspect messages.
+    pub fn client_recv_shared(&mut self, name: &str) -> Vec<Rc<Message>> {
         match self.clients.get_mut(name) {
             Some(conn) => std::mem::take(&mut conn.outbox),
             None => Vec::new(),
@@ -173,7 +194,9 @@ impl MavProxy {
     /// Advances the vehicle one step and distributes telemetry,
     /// driving approach detection and geofence-breach recovery.
     pub fn step(&mut self, sitl: &mut Sitl) {
-        let telemetry = sitl.step();
+        // Wrap each step's telemetry once; fan-out below shares the
+        // references instead of deep-cloning per client.
+        let telemetry: Vec<Rc<Message>> = sitl.step().into_iter().map(Rc::new).collect();
         let pos = sitl.position();
 
         // Approach detection: pending VFCs whose waypoint the real
@@ -192,14 +215,30 @@ impl MavProxy {
         self.check_geofence(&pos, sitl);
         self.drive_recovery(&pos, sitl);
 
-        // Telemetry fan-out, transformed per client view.
+        self.distribute_telemetry(&telemetry, &pos);
+    }
+
+    /// Telemetry fan-out, transformed per client view. The identity
+    /// check is hoisted per client per step: unrestricted clients and
+    /// identity-view VFCs share the step's Rc'd messages, and only
+    /// genuinely rewritten views allocate.
+    ///
+    /// Public so the perf harness and determinism tests can drive the
+    /// distribution stage with a fixed telemetry batch.
+    pub fn distribute_telemetry(&mut self, telemetry: &[Rc<Message>], pos: &GeoPoint) {
         for conn in self.clients.values_mut() {
-            for msg in &telemetry {
-                let out = match conn.vfc.as_mut() {
-                    Some(vfc) => vfc.transform_telemetry(msg, &pos),
-                    None => msg.clone(),
-                };
-                conn.outbox.push(out);
+            match conn.vfc.as_mut() {
+                None => conn.outbox.extend(telemetry.iter().map(Rc::clone)),
+                Some(vfc) if vfc.telemetry_is_identity() => {
+                    conn.outbox.extend(telemetry.iter().map(Rc::clone));
+                }
+                Some(vfc) => {
+                    conn.outbox.extend(
+                        telemetry
+                            .iter()
+                            .map(|msg| vfc.transform_telemetry_shared(msg, pos)),
+                    );
+                }
             }
         }
     }
@@ -215,7 +254,7 @@ impl MavProxy {
                     // Step 1: inform the virtual drone; step 2:
                     // disable its commands.
                     let notice = vfc.begin_breach_recovery();
-                    conn.outbox.push(notice);
+                    conn.outbox.push(Rc::new(notice));
                     breach = Some((name.clone(), vfc.geofence.recovery_point(pos)));
                     break;
                 }
@@ -267,7 +306,7 @@ impl MavProxy {
                 if let Some(conn) = self.clients.get_mut(&client) {
                     if let Some(vfc) = conn.vfc.as_mut() {
                         let done = vfc.end_breach_recovery();
-                        conn.outbox.push(done);
+                        conn.queue(done);
                     }
                 }
                 // The virtual drone regains guided control.

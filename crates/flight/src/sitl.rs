@@ -99,7 +99,7 @@ impl Sitl {
         }
         let div = self.estimator.attitude_divergence(&truth.attitude);
         self.max_attitude_divergence = self.max_attitude_divergence.max(div);
-        if self.step_count % 40 == 0 {
+        if self.step_count.is_multiple_of(40) {
             // 10 Hz ATT log records, as a DataFlash log would carry.
             self.recorder.record(
                 self.step_count as f64 / FAST_LOOP_HZ,
@@ -370,20 +370,15 @@ mod mission_upload_tests {
             count: waypoints.len() as u16,
         });
         let mut log = replies.clone();
-        loop {
-            match replies.first() {
-                Some(Message::MissionRequestInt { seq }) => {
-                    let wp = waypoints[*seq as usize];
-                    replies = sitl.handle_message(&Message::MissionItemInt {
-                        seq: *seq,
-                        lat: deg_to_e7(wp.latitude),
-                        lon: deg_to_e7(wp.longitude),
-                        alt: wp.altitude as f32,
-                    });
-                    log.extend(replies.clone());
-                }
-                _ => break,
-            }
+        while let Some(Message::MissionRequestInt { seq }) = replies.first() {
+            let wp = waypoints[*seq as usize];
+            replies = sitl.handle_message(&Message::MissionItemInt {
+                seq: *seq,
+                lat: deg_to_e7(wp.latitude),
+                lon: deg_to_e7(wp.longitude),
+                alt: wp.altitude as f32,
+            });
+            log.extend(replies.clone());
         }
         log
     }

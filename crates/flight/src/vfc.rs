@@ -20,6 +20,8 @@
 //! position throughout (to avoid contradicting their sensor
 //! readings), but commands are still declined off-waypoint.
 
+use std::rc::Rc;
+
 use androne_hal::GeoPoint;
 use androne_mavlink::{deg_to_e7, FlightMode, Message};
 
@@ -188,66 +190,97 @@ impl Vfc {
         }
     }
 
+    /// Whether telemetry currently passes through unmodified. The
+    /// proxy hoists this check out of its per-message fan-out loop:
+    /// identity-view clients receive shared references instead of
+    /// per-message rewrites.
+    pub fn telemetry_is_identity(&self) -> bool {
+        matches!(self.state, VfcState::Active | VfcState::BreachRecovery)
+    }
+
     /// Transforms one telemetry message into this client's view.
     /// `real_position` is the physical drone's current position.
-    pub fn transform_telemetry(
+    pub fn transform_telemetry(&mut self, msg: &Message, real_position: &GeoPoint) -> Message {
+        match self.transform_patch(msg, real_position) {
+            Some(patched) => patched,
+            None => msg.clone(),
+        }
+    }
+
+    /// Shared-reference variant: returns the input reference when the
+    /// view leaves the message untouched, allocating only for
+    /// genuinely rewritten messages.
+    pub fn transform_telemetry_shared(
         &mut self,
-        msg: &Message,
+        msg: &Rc<Message>,
         real_position: &GeoPoint,
-    ) -> Message {
+    ) -> Rc<Message> {
+        match self.transform_patch(msg, real_position) {
+            Some(patched) => Rc::new(patched),
+            None => Rc::clone(msg),
+        }
+    }
+
+    /// Core view logic: `None` means the message passes through
+    /// unchanged, `Some` carries the rewritten view.
+    fn transform_patch(&mut self, msg: &Message, real_position: &GeoPoint) -> Option<Message> {
         match self.state {
-            VfcState::Active | VfcState::BreachRecovery => msg.clone(),
+            VfcState::Active | VfcState::BreachRecovery => None,
             VfcState::Pending => match msg {
                 Message::GlobalPositionInt { time_boot_ms, .. } => {
                     if self.continuous_view {
-                        msg.clone()
+                        None
                     } else {
                         // Idle on the ground at the waypoint.
-                        synthetic_position(*time_boot_ms, &self.geofence.center, 0.0)
+                        Some(synthetic_position(*time_boot_ms, &self.geofence.center, 0.0))
                     }
                 }
-                Message::Heartbeat { .. } => Message::Heartbeat {
+                Message::Heartbeat { .. } => Some(Message::Heartbeat {
                     mode: FlightMode::Loiter,
                     armed: false,
                     system_status: 3,
-                },
+                }),
                 // A grounded drone draws idle current; leaking the
                 // real in-flight draw would contradict the view.
                 Message::SysStatus { voltage_mv, .. } if !self.continuous_view => {
-                    Message::SysStatus {
+                    Some(Message::SysStatus {
                         voltage_mv: *voltage_mv,
                         current_ca: 30,
                         battery_remaining: 100,
-                    }
+                    })
                 }
-                other => other.clone(),
+                _ => None,
             },
             VfcState::Approaching => match msg {
                 Message::GlobalPositionInt { time_boot_ms, .. } => {
                     if self.continuous_view {
-                        return msg.clone();
+                        return None;
                     }
                     // Climb the synthetic drone toward the real
                     // altitude to "meet" the physical drone.
                     let target = real_position.altitude;
                     self.synthetic_alt = (self.synthetic_alt + 0.5).min(target);
-                    synthetic_position(*time_boot_ms, &self.geofence.center, self.synthetic_alt)
+                    Some(synthetic_position(
+                        *time_boot_ms,
+                        &self.geofence.center,
+                        self.synthetic_alt,
+                    ))
                 }
-                Message::Heartbeat { .. } => Message::Heartbeat {
+                Message::Heartbeat { .. } => Some(Message::Heartbeat {
                     mode: FlightMode::Guided,
                     armed: true,
                     system_status: 4,
-                },
-                other => other.clone(),
+                }),
+                _ => None,
             },
             VfcState::Finished => match msg {
                 Message::GlobalPositionInt { time_boot_ms, .. } => {
                     // Descend the synthetic drone, then stay landed.
                     self.synthetic_alt = (self.synthetic_alt - 0.5).max(0.0);
                     let pos = self.frozen_position.unwrap_or(self.geofence.center);
-                    synthetic_position(*time_boot_ms, &pos, self.synthetic_alt)
+                    Some(synthetic_position(*time_boot_ms, &pos, self.synthetic_alt))
                 }
-                Message::Heartbeat { .. } => Message::Heartbeat {
+                Message::Heartbeat { .. } => Some(Message::Heartbeat {
                     mode: if self.synthetic_alt > 0.0 {
                         FlightMode::Land
                     } else {
@@ -255,8 +288,8 @@ impl Vfc {
                     },
                     armed: self.synthetic_alt > 0.0,
                     system_status: if self.synthetic_alt > 0.0 { 4 } else { 3 },
-                },
-                other => other.clone(),
+                }),
+                _ => None,
             },
         }
     }

@@ -53,12 +53,24 @@ impl Frame {
 }
 
 /// Incremental frame parser.
+///
+/// Consumed bytes are tracked with a read cursor instead of
+/// `Vec::drain`: draining the front of the buffer memmoves the whole
+/// tail for every frame, turning a burst of n frames into O(n²) byte
+/// moves. The cursor makes each frame O(frame length), with the
+/// buffer compacted once it is mostly dead space.
 #[derive(Debug, Default)]
 pub struct Parser {
     buf: Vec<u8>,
+    /// Read cursor: bytes before this offset are consumed.
+    pos: usize,
     /// Frames dropped due to checksum or structural errors.
     dropped: u64,
 }
+
+/// Compact once consumed bytes exceed this many and dominate the
+/// buffer (amortizes the memmove over many frames).
+const COMPACT_THRESHOLD: usize = 4096;
 
 impl Parser {
     /// Creates an empty parser.
@@ -71,40 +83,61 @@ impl Parser {
         self.dropped
     }
 
+    /// Bytes buffered but not yet consumed (diagnostics/tests).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD && self.pos >= self.buf.len() / 2 {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
+    }
+
     /// Feeds bytes, returning every complete frame decoded.
     pub fn push(&mut self, bytes: &[u8]) -> Vec<Frame> {
         self.buf.extend_from_slice(bytes);
         let mut frames = Vec::new();
         loop {
-            // Resync: discard garbage before the next STX.
-            match self.buf.iter().position(|&b| b == STX) {
+            let pending = &self.buf[self.pos..];
+            // Resync: skip garbage before the next STX.
+            match pending.iter().position(|&b| b == STX) {
                 Some(0) => {}
                 Some(i) => {
-                    self.buf.drain(..i);
+                    self.pos += i;
                 }
                 None => {
+                    // No frame start anywhere: everything is consumed.
                     self.buf.clear();
+                    self.pos = 0;
                     break;
                 }
             }
-            if self.buf.len() < 8 {
+            let pending = &self.buf[self.pos..];
+            if pending.len() < 8 {
                 break;
             }
-            let len = self.buf[1] as usize;
+            let len = pending[1] as usize;
             let total = 8 + len;
-            if self.buf.len() < total {
+            if pending.len() < total {
                 break;
             }
-            let frame_bytes: Vec<u8> = self.buf.drain(..total).collect();
-            match decode_frame(&frame_bytes) {
+            match decode_frame(&pending[..total]) {
                 Ok(frame) => frames.push(frame),
                 Err(_) => {
                     self.dropped += 1;
-                    // The drained bytes are discarded; parsing
+                    // The consumed bytes are discarded; parsing
                     // continues at the next STX.
                 }
             }
+            self.pos += total;
         }
+        self.compact();
         frames
     }
 }
@@ -217,5 +250,28 @@ mod tests {
         let out = parser.push(&bytes);
         assert_eq!(out.len(), 10);
         assert_eq!(out[9].seq, 9);
+    }
+
+    #[test]
+    fn cursor_buffer_does_not_accumulate_consumed_bytes() {
+        let mut parser = Parser::new();
+        // Large bursts: everything consumed, nothing retained.
+        for round in 0..50u32 {
+            let mut bytes = Vec::new();
+            for i in 0..100 {
+                bytes.extend(heartbeat((round as usize + i) as u8).encode());
+            }
+            let out = parser.push(&bytes);
+            assert_eq!(out.len(), 100);
+            assert_eq!(parser.pending(), 0, "no dead bytes retained");
+        }
+        // A partial frame stays pending until completed.
+        let frame = heartbeat(0);
+        let bytes = frame.encode();
+        parser.push(&bytes[..5]);
+        assert_eq!(parser.pending(), 5);
+        let out = parser.push(&bytes[5..]);
+        assert_eq!(out, vec![frame]);
+        assert_eq!(parser.pending(), 0);
     }
 }

@@ -11,10 +11,10 @@ use std::collections::BTreeMap;
 
 use androne_android::DeviceClass;
 use androne_hal::GeoPoint;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// One waypoint in a virtual drone definition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaypointSpec {
     /// Latitude, degrees.
     pub latitude: f64,
@@ -23,7 +23,7 @@ pub struct WaypointSpec {
     /// Altitude, meters.
     pub altitude: f64,
     /// Radius of the spherical operating volume / geofence, meters.
-    #[serde(rename = "max-radius")]
+    /// Serialized as `max-radius`, the paper's field name.
     pub max_radius: f64,
 }
 
@@ -35,29 +35,102 @@ impl WaypointSpec {
 }
 
 /// A full virtual drone definition (paper Figure 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// JSON field names follow the paper's hyphenated spelling
+/// (`max-duration`, `energy-allotted`, …); the device lists, `apps`,
+/// and `app-args` fields default to empty when absent.
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualDroneSpec {
     /// Waypoints the virtual drone is to visit.
     pub waypoints: Vec<WaypointSpec>,
     /// Maximum operating time across all waypoints, seconds.
-    #[serde(rename = "max-duration")]
     pub max_duration: f64,
     /// Maximum energy across all waypoints, joules.
-    #[serde(rename = "energy-allotted")]
     pub energy_allotted: f64,
     /// Devices held continuously from the first waypoint to the
     /// last (suspendable at other parties' waypoints).
-    #[serde(rename = "continuous-devices", default)]
     pub continuous_devices: Vec<String>,
     /// Devices held only while operating at waypoints.
-    #[serde(rename = "waypoint-devices", default)]
     pub waypoint_devices: Vec<String>,
     /// APKs to install in the container.
-    #[serde(default)]
     pub apps: Vec<String>,
     /// Per-app arguments, keyed by package name.
-    #[serde(rename = "app-args", default)]
     pub app_args: BTreeMap<String, serde_json::Value>,
+}
+
+impl Serialize for WaypointSpec {
+    fn serialize_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("latitude".to_string(), self.latitude.serialize_value());
+        obj.insert("longitude".to_string(), self.longitude.serialize_value());
+        obj.insert("altitude".to_string(), self.altitude.serialize_value());
+        obj.insert("max-radius".to_string(), self.max_radius.serialize_value());
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for WaypointSpec {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(WaypointSpec {
+            latitude: field(v, "latitude")?,
+            longitude: field(v, "longitude")?,
+            altitude: field(v, "altitude")?,
+            max_radius: field(v, "max-radius")?,
+        })
+    }
+}
+
+impl Serialize for VirtualDroneSpec {
+    fn serialize_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("waypoints".to_string(), self.waypoints.serialize_value());
+        obj.insert("max-duration".to_string(), self.max_duration.serialize_value());
+        obj.insert(
+            "energy-allotted".to_string(),
+            self.energy_allotted.serialize_value(),
+        );
+        obj.insert(
+            "continuous-devices".to_string(),
+            self.continuous_devices.serialize_value(),
+        );
+        obj.insert(
+            "waypoint-devices".to_string(),
+            self.waypoint_devices.serialize_value(),
+        );
+        obj.insert("apps".to_string(), self.apps.serialize_value());
+        obj.insert("app-args".to_string(), self.app_args.serialize_value());
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for VirtualDroneSpec {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(VirtualDroneSpec {
+            waypoints: field(v, "waypoints")?,
+            max_duration: field(v, "max-duration")?,
+            energy_allotted: field(v, "energy-allotted")?,
+            continuous_devices: field_or_default(v, "continuous-devices")?,
+            waypoint_devices: field_or_default(v, "waypoint-devices")?,
+            apps: field_or_default(v, "apps")?,
+            app_args: field_or_default(v, "app-args")?,
+        })
+    }
+}
+
+/// Reads a required object field.
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, serde::Error> {
+    match v.get(name) {
+        Some(inner) => T::deserialize_value(inner),
+        None => Err(serde::Error::msg(format!("missing field '{name}'"))),
+    }
+}
+
+/// Reads an optional object field, defaulting when absent.
+fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, serde::Error> {
+    match v.get(name) {
+        Some(inner) => T::deserialize_value(inner),
+        None => Ok(T::default()),
+    }
 }
 
 /// Spec validation errors.

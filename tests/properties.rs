@@ -54,22 +54,78 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Independent wire-size accounting, mirroring the parcel's own.
+fn wire_len(v: &PValue) -> usize {
+    match v {
+        PValue::I32(_) => 4,
+        PValue::I64(_) | PValue::F64(_) => 8,
+        PValue::Str(s) => 4 + s.len(),
+        PValue::Blob(b) => 4 + b.len(),
+        PValue::Binder(_) | PValue::Fd(_) => 16,
+    }
+}
+
+fn push_value(p: &mut Parcel, v: &PValue) {
+    match v {
+        PValue::I32(x) => {
+            p.push_i32(*x);
+        }
+        PValue::I64(x) => {
+            p.push_i64(*x);
+        }
+        PValue::F64(x) => {
+            p.push_f64(*x);
+        }
+        PValue::Str(s) => {
+            p.push_str(s.clone());
+        }
+        PValue::Blob(b) => {
+            p.push_blob(b.clone());
+        }
+        _ => unreachable!(),
+    }
+}
+
 proptest! {
     #[test]
     fn parcel_values_round_trip(values in proptest::collection::vec(arb_pvalue(), 0..16)) {
         let mut p = Parcel::new();
         for v in &values {
-            match v {
-                PValue::I32(x) => { p.push_i32(*x); }
-                PValue::I64(x) => { p.push_i64(*x); }
-                PValue::F64(x) => { p.push_f64(*x); }
-                PValue::Str(s) => { p.push_str(s.clone()); }
-                PValue::Blob(b) => { p.push_blob(b.clone()); }
-                _ => unreachable!(),
-            }
+            push_value(&mut p, v);
         }
         prop_assert_eq!(p.values(), values.as_slice());
         prop_assert_eq!(p.len(), values.len());
+    }
+
+    #[test]
+    fn parcel_cow_clone_then_mutate_never_aliases(
+        values in proptest::collection::vec(arb_pvalue(), 0..16),
+        extra in arb_pvalue(),
+        mutate_original in any::<bool>(),
+    ) {
+        let mut original = Parcel::new();
+        for v in &values {
+            push_value(&mut original, v);
+        }
+        let mut clone = original.clone();
+        // Clones share storage until a write...
+        prop_assert!(original.shares_storage_with(&clone));
+        let snapshot = original.values().to_vec();
+
+        // ...and a write to either side unshares; the other side
+        // observes the pre-write contents, never the mutation.
+        if mutate_original {
+            push_value(&mut original, &extra);
+            prop_assert_eq!(clone.values(), snapshot.as_slice());
+            prop_assert_eq!(original.len(), snapshot.len() + 1);
+        } else {
+            push_value(&mut clone, &extra);
+            prop_assert_eq!(original.values(), snapshot.as_slice());
+            prop_assert_eq!(clone.len(), snapshot.len() + 1);
+        }
+        prop_assert!(!original.shares_storage_with(&clone));
+        prop_assert_eq!(original.wire_size(), original.values().iter().map(wire_len).sum::<usize>());
+        prop_assert_eq!(clone.wire_size(), clone.values().iter().map(wire_len).sum::<usize>());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `Bencher` API surface and the
+//! `criterion_group!` / `criterion_main!` macros used by this
+//! workspace's benches. Measurement is simple wall-clock sampling:
+//! each sample times a batch of iterations sized to run for roughly
+//! a millisecond, and the median / min / max across samples is
+//! reported. No plotting, no statistics beyond that — enough for
+//! regression *trajectories*, not publication-grade confidence
+//! intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: names benches and collects samples.
+pub struct Criterion {
+    sample_size: usize,
+    /// (name, median ns/iter) for every bench run so far.
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the batch until one batch takes ~1 ms.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || b.iters >= (1 << 24) {
+                break;
+            }
+            b.iters *= 8;
+        }
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                b.elapsed = Duration::ZERO;
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / b.iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        self.results.push((name.to_string(), median));
+        self
+    }
+
+    /// Median ns/iter results collected so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over the calibrated batch size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_sane_median() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let (name, ns) = &c.results()[0];
+        assert_eq!(name, "noop_sum");
+        assert!(*ns > 0.0 && *ns < 1e7, "{ns}");
+    }
+}
