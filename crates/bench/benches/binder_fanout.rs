@@ -577,6 +577,10 @@ fn main() {
 
     let echo_speedup = ratio("echo_roundtrip/seed_replica", "echo_roundtrip/optimized");
     let fanout8_speedup = ratio("fanout/deep_n8", "fanout/shared_n8");
+    let translate_speedup = ratio(
+        "parcel_translate/objref_seed_tables",
+        "parcel_translate/objref_cached",
+    );
 
     let mut ratios: Vec<(String, Value)> = vec![
         ("echo_roundtrip".to_string(), Value::Number(echo_speedup)),
@@ -586,10 +590,7 @@ fn main() {
         ),
         (
             "parcel_translate".to_string(),
-            Value::Number(ratio(
-                "parcel_translate/objref_seed_tables",
-                "parcel_translate/objref_cached",
-            )),
+            Value::Number(translate_speedup),
         ),
         (
             "codec_decode".to_string(),
@@ -638,9 +639,15 @@ fn main() {
                 ("echo_roundtrip_measured", Value::Number(echo_speedup)),
                 ("fanout_n8_min", Value::Number(3.0)),
                 ("fanout_n8_measured", Value::Number(fanout8_speedup)),
+                ("parcel_translate_min", Value::Number(1.5)),
+                ("parcel_translate_measured", Value::Number(translate_speedup)),
                 (
                     "pass",
-                    Value::Bool(echo_speedup >= 2.0 && fanout8_speedup >= 3.0),
+                    Value::Bool(
+                        echo_speedup >= 2.0
+                            && fanout8_speedup >= 3.0
+                            && translate_speedup >= 1.5,
+                    ),
                 ),
             ]),
         ),
@@ -651,6 +658,6 @@ fn main() {
     });
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&out_path, json + "\n").expect("write bench report");
-    println!("\nspeedups: echo {echo_speedup:.2}x (gate 2.0x), 8-client fan-out {fanout8_speedup:.2}x (gate 3.0x)");
+    println!("\nspeedups: echo {echo_speedup:.2}x (gate 2.0x), 8-client fan-out {fanout8_speedup:.2}x (gate 3.0x), parcel translate {translate_speedup:.2}x (gate 1.5x)");
     println!("report written to {out_path}");
 }

@@ -24,11 +24,11 @@
 //! descriptors between per-process tables in flight.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use androne_container::DeviceNamespaceId;
-use androne_simkern::{ContainerId, Euid, Pid, SimDuration};
+use androne_simkern::{ContainerId, Euid, Pid, SimDuration, StateHash, StateHasher};
 
 use crate::error::BinderError;
 use crate::fd::FileRef;
@@ -91,8 +91,9 @@ struct Node {
     alive: bool,
 }
 
-/// Sentinel in the node→handle slab meaning "no handle yet" (real
-/// handles start at 1; 0 is the Context Manager alias).
+/// Sentinel in the node→handle and translation-cache slabs meaning
+/// "no handle yet" (real handles start at 1; 0 is the Context Manager
+/// alias and is never cached).
 const NO_HANDLE: u32 = 0;
 
 struct ProcState {
@@ -187,7 +188,10 @@ pub fn transaction_cost(wire_size: usize) -> SimDuration {
 
 /// The Binder driver instance for one board.
 pub struct BinderDriver {
-    procs: HashMap<Pid, ProcState>,
+    /// Per-process state, ordered by PID so every iteration (and
+    /// every state hash) visits processes in the same order on every
+    /// same-seed run (dronelint R1).
+    procs: BTreeMap<Pid, ProcState>,
     /// Node slab: `NodeId(n)` lives at `nodes[n - 1]`. Node ids are
     /// allocated sequentially from 1 and nodes are never removed
     /// (death only clears `alive`), so lookups are direct indexing.
@@ -205,7 +209,14 @@ pub struct BinderDriver {
     /// handle, once allocated, refers to the same node forever.
     /// Handle 0 (the per-namespace Context Manager alias) is never
     /// cached since a namespace's CM can be replaced after death.
-    translation_cache: HashMap<(Pid, Pid), HashMap<u32, u32>>,
+    ///
+    /// The inner table is a dense slab indexed by source handle
+    /// (handles are allocated sequentially), with [`NO_HANDLE`]
+    /// marking untranslated slots: deterministic iteration order
+    /// (dronelint R1) and a plain bounds-checked load on the hot
+    /// path. Revisit the monotonic-growth assumption if handle
+    /// recycling or teardown compaction is ever added.
+    translation_cache: BTreeMap<(Pid, Pid), Vec<u32>>,
     stats: DriverStats,
 }
 
@@ -219,13 +230,13 @@ impl BinderDriver {
     /// Creates an empty driver.
     pub fn new() -> Self {
         BinderDriver {
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             nodes: Vec::new(),
             context_managers: BTreeMap::new(),
             device_container: None,
             published_shared: Vec::new(),
             death_links: BTreeMap::new(),
-            translation_cache: HashMap::new(),
+            translation_cache: BTreeMap::new(),
             stats: DriverStats::default(),
         }
     }
@@ -357,18 +368,22 @@ impl BinderDriver {
             if let Some(&dst) = self
                 .translation_cache
                 .get(&(from, to))
-                .and_then(|m| m.get(&handle))
+                .and_then(|slab| slab.get(handle as usize))
             {
-                return Ok(dst);
+                if dst != NO_HANDLE {
+                    return Ok(dst);
+                }
             }
         }
         let node = self.resolve_handle(from, handle)?;
         let dst = self.proc_mut(to)?.insert_handle(node);
         if handle != 0 {
-            self.translation_cache
-                .entry((from, to))
-                .or_default()
-                .insert(handle, dst);
+            let slab = self.translation_cache.entry((from, to)).or_default();
+            let idx = handle as usize;
+            if slab.len() <= idx {
+                slab.resize(idx + 1, NO_HANDLE);
+            }
+            slab[idx] = dst;
         }
         Ok(dst)
     }
@@ -630,6 +645,83 @@ pub fn scoped_service_name(name: &str, container: ContainerId) -> String {
     format!("{name}#ctr{}", container.0)
 }
 
+impl StateHash for BinderDriver {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_usize(self.procs.len());
+        for (pid, p) in &self.procs {
+            pid.state_hash(h);
+            p.euid.state_hash(h);
+            p.container.state_hash(h);
+            h.write_u32(p.device_ns.0);
+            h.write_usize(p.handles.len());
+            for node in &p.handles {
+                h.write_u64(node.map_or(0, |n| n.0));
+            }
+            // `by_node` is the exact inverse of `handles`; hashing it
+            // too would be redundant.
+            h.write_u32(p.next_handle);
+            h.write_usize(p.fds.len());
+            for fd in &p.fds {
+                match fd {
+                    Some(file) => h.write_str(&file.label),
+                    None => h.write_u8(0),
+                }
+            }
+            h.write_u32(p.next_fd);
+            h.write_bool(p.alive);
+            h.write_usize(p.death_queue.len());
+            for handle in &p.death_queue {
+                h.write_u32(*handle);
+            }
+        }
+        h.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            node.owner.state_hash(h);
+            h.write_bool(node.alive);
+        }
+        h.write_usize(self.context_managers.len());
+        for (ns, node) in &self.context_managers {
+            h.write_u32(ns.0);
+            h.write_u64(node.0);
+        }
+        match self.device_container {
+            Some((c, ns)) => {
+                c.state_hash(h);
+                h.write_u32(ns.0);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_usize(self.published_shared.len());
+        for (name, node) in &self.published_shared {
+            h.write_str(name);
+            h.write_u64(node.0);
+        }
+        h.write_usize(self.death_links.len());
+        for (node, watchers) in &self.death_links {
+            h.write_u64(node.0);
+            h.write_usize(watchers.len());
+            for w in watchers {
+                w.state_hash(h);
+            }
+        }
+        // The translation cache is state: same-seed runs must build
+        // identical caches, or a later structural change (e.g. cache
+        // eviction) could make cached and uncached runs diverge.
+        h.write_usize(self.translation_cache.len());
+        for ((from, to), slab) in &self.translation_cache {
+            from.state_hash(h);
+            to.state_hash(h);
+            h.write_usize(slab.len());
+            for dst in slab {
+                h.write_u32(*dst);
+            }
+        }
+        h.write_u64(self.stats.transactions);
+        h.write_u64(self.stats.cross_container);
+        h.write_u64(self.stats.payload_bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,8 +849,9 @@ mod tests {
         let cached = d
             .translation_cache
             .get(&(server, client))
-            .and_then(|m| m.get(&1))
-            .copied();
+            .and_then(|slab| slab.get(1))
+            .copied()
+            .filter(|&dst| dst != NO_HANDLE);
         assert_eq!(cached, Some(handle));
     }
 

@@ -518,4 +518,19 @@ impl Drone {
             cam.borrow_mut().pump_frames();
         }
     }
+
+    /// Per-component state hashes for the determinism sanitizer, in a
+    /// fixed order. Each entry is `(component name, FNV-1a hash of
+    /// its full sim state)`; two runs under the same seed must
+    /// produce identical vectors at every observation point.
+    pub fn component_hashes(&self) -> Vec<(&'static str, u64)> {
+        use androne_simkern::StateHash;
+        vec![
+            ("kernel", self.kernel.lock().hash_value()),
+            ("binder", self.driver.hash_value()),
+            ("sitl", self.sitl.hash_value()),
+            ("proxy", self.proxy.hash_value()),
+            ("vdc", self.vdc.borrow().hash_value()),
+        ]
+    }
 }

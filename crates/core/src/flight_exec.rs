@@ -84,13 +84,31 @@ pub struct FlightOutcome {
 /// second; returning `true` sends the drone home.
 pub type AbortCheck<'a> = Box<dyn FnMut(f64) -> bool + 'a>;
 
+/// Per-second observer hook for the determinism sanitizer: called
+/// once per simulated second with the tick index (seconds since
+/// launch) and mutable access to the drone, after that second's
+/// processing. Mutable access lets fault-injection harnesses perturb
+/// state at an exact tick; well-behaved observers only read.
+pub type FlightObserver<'a> = Box<dyn FnMut(u64, &mut Drone) + 'a>;
+
 /// Executes `plan` on `drone` to completion (or abort), with a
 /// safety cap of `max_sim_seconds`.
 pub fn execute_flight(
     drone: &mut Drone,
     plan: FlightPlan,
     max_sim_seconds: f64,
+    abort: Option<AbortCheck<'_>>,
+) -> FlightOutcome {
+    execute_flight_observed(drone, plan, max_sim_seconds, abort, None)
+}
+
+/// [`execute_flight`] with a per-second observer hook.
+pub fn execute_flight_observed(
+    drone: &mut Drone,
+    plan: FlightPlan,
+    max_sim_seconds: f64,
     mut abort: Option<AbortCheck<'_>>,
+    mut observer: Option<FlightObserver<'_>>,
 ) -> FlightOutcome {
     let mut pilot = Autopilot::new(plan);
     let mut log = Vec::new();
@@ -274,6 +292,9 @@ pub fn execute_flight(
                     pilot.abort_to_base(&mut drone.proxy, &mut drone.sitl);
                     log.push(FlightLog::Aborted);
                 }
+            }
+            if let Some(obs) = observer.as_mut() {
+                obs(step / 400, drone);
             }
         }
 

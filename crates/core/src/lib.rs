@@ -26,10 +26,14 @@
 pub mod androne;
 pub mod drone;
 pub mod flight_exec;
+pub mod sanitizer;
 
 pub use androne::Androne;
 pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_IMAGE};
-pub use flight_exec::{execute_flight, EndReason, FlightLog, FlightOutcome};
+pub use flight_exec::{
+    execute_flight, execute_flight_observed, EndReason, FlightLog, FlightObserver, FlightOutcome,
+};
+pub use sanitizer::{first_divergence, trace_flight, Divergence, TickHashes, Trace};
 
 pub use androne_android as android;
 pub use androne_binder as binder;

@@ -1,0 +1,239 @@
+//! # dronelint
+//!
+//! The AnDrone workspace's determinism/safety lint engine: a
+//! self-contained token/line-level static-analysis pass (no external
+//! parser) enforcing the invariants the simulation's seed-stability
+//! rests on:
+//!
+//! - **R1** `nondeterministic-collection`: no `HashMap`/`HashSet` in
+//!   sim-state crates.
+//! - **R2** `wall-clock-or-entropy`: no `Instant`/`SystemTime`/
+//!   `thread_rng` outside `crates/bench` and `scripts`.
+//! - **R3** `panic-in-hot-path`: no `unwrap()`/`expect()`/`panic!` in
+//!   non-test code of the Binder driver, flight stack, or MAVLink
+//!   codec.
+//! - **R4** `bare-numeric-cast`: no bare `as` numeric casts in the
+//!   MAVLink wire path (use `try_from` or `wire.rs` helpers).
+//! - **R5** `mutable-global`: no mutable or interior-mutable statics
+//!   in sim crates.
+//!
+//! Violations can be suppressed inline with
+//! `// dronelint:allow(R3, reason why this one is sound)` — the
+//! reason is mandatory — or grandfathered in `dronelint.baseline.json`,
+//! which only ratchets downward (see [`baseline`]).
+//!
+//! The runtime complement is the dual-run state-hash sanitizer in the
+//! `androne` crate (`sanitizer` module): R1/R2 ban the *causes* of
+//! nondeterminism statically; the sanitizer catches any drift that
+//! slips through by hashing component state every simulated second.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, Entry, Reconciled};
+pub use rules::{RuleInfo, RULES, SIM_CRATES};
+
+/// One confirmed lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id ("R1".."R5").
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// An inline suppression directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    has_reason: bool,
+}
+
+/// Parses every `dronelint:allow(rule, reason)` directive in a
+/// comment.
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("dronelint:allow(") {
+        rest = &rest[pos + "dronelint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let inner = &rest[..close];
+        rest = &rest[close + 1..];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        out.push(Allow {
+            rule: rule.to_string(),
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+/// Lints one file's source text. `path` is the repo-relative path
+/// (forward slashes) used for rule scoping — callers may pass a
+/// pretend path to lint fixture text as if it lived in a scoped
+/// location.
+pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
+    let lines = scan::preprocess(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    // Suppressions from comment-only lines apply to the next line
+    // with code.
+    let mut carried: Vec<Allow> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let mut allows = parse_allows(&line.comment);
+        let has_code = !line.code.trim().is_empty();
+        if !has_code {
+            carried.append(&mut allows);
+            continue;
+        }
+        allows.append(&mut carried);
+
+        // A suppression without a reason is itself a violation: the
+        // whole point is an audit trail.
+        for a in &allows {
+            if !a.has_reason {
+                violations.push(Violation {
+                    rule: "R0",
+                    path: path.to_string(),
+                    line: idx + 1,
+                    col: 1,
+                    snippet: snippet_at(&raw_lines, idx),
+                    message: format!(
+                        "dronelint:allow({}) without a reason; write dronelint:allow({}, why)",
+                        a.rule, a.rule
+                    ),
+                });
+            }
+        }
+
+        if line.in_test {
+            continue;
+        }
+        for m in rules::check_line(path, &scan::tokenize(&line.code)) {
+            let suppressed = allows.iter().any(|a| a.has_reason && a.rule == m.rule);
+            if suppressed {
+                continue;
+            }
+            violations.push(Violation {
+                rule: m.rule,
+                path: path.to_string(),
+                line: idx + 1,
+                col: m.col,
+                snippet: snippet_at(&raw_lines, idx),
+                message: m.message,
+            });
+        }
+    }
+    violations
+}
+
+fn snippet_at(raw_lines: &[&str], idx: usize) -> String {
+    raw_lines.get(idx).map(|l| l.trim().to_string()).unwrap_or_default()
+}
+
+/// Walks the workspace at `root` and lints every in-scope `.rs` file.
+///
+/// Scope: `crates/**/*.rs`, excluding `target/`, `vendor/`, and any
+/// `fixtures/` directory (lint-test seed files are violations on
+/// purpose).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        violations.extend(scan_source(&rel, &source));
+    }
+    Ok(violations)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_silences_the_line() {
+        let src = "use std::collections::HashMap; // dronelint:allow(R1, interop shim, keys re-sorted before iteration)\n";
+        assert!(scan_source("crates/simkern/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_its_own_line_covers_the_next_line() {
+        let src = "// dronelint:allow(R1, measured: BTree 3x slower here, order never observed)\nuse std::collections::HashMap;\n";
+        assert!(scan_source("crates/simkern/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reasonless_suppression_is_flagged_and_does_not_suppress() {
+        let src = "use std::collections::HashMap; // dronelint:allow(R1)\n";
+        let v = scan_source("crates/simkern/src/x.rs", src);
+        let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"R0"), "{rules:?}");
+        assert!(rules.contains(&"R1"), "{rules:?}");
+    }
+
+    #[test]
+    fn suppression_for_a_different_rule_does_not_apply() {
+        let src = "use std::collections::HashMap; // dronelint:allow(R2, wrong rule)\n";
+        let v = scan_source("crates/simkern/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R1");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(scan_source("crates/flight/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violations_carry_exact_line_and_snippet() {
+        let src = "fn ok() {}\nlet m = HashMap::new();\n";
+        let v = scan_source("crates/binder/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].snippet, "let m = HashMap::new();");
+    }
+}

@@ -1,0 +1,176 @@
+//! CLI for the dronelint engine.
+//!
+//! ```text
+//! dronelint [--root PATH] [--baseline PATH] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new violations or stale baseline entries,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dronelint::{scan_workspace, Baseline, Reconciled, RULES};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace two levels above this crate.
+    let mut args = Args {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        baseline: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format must be human or json, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                return Err("usage: dronelint [--root PATH] [--baseline PATH] [--format human|json]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_baseline(args: &Args) -> Result<Baseline, String> {
+    let path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("dronelint.baseline.json"));
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        // No baseline file means no grandfathered violations.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(r: &Reconciled) {
+    println!("{{");
+    println!("  \"violations\": [");
+    let n = r.new.len();
+    for (i, v) in r.new.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        println!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}{}",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            v.col,
+            json_escape(&v.snippet),
+            json_escape(&v.message),
+            comma
+        );
+    }
+    println!("  ],");
+    println!("  \"stale_baseline_entries\": [");
+    let m = r.stale.len();
+    for (i, e) in r.stale.iter().enumerate() {
+        let comma = if i + 1 < m { "," } else { "" };
+        println!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"snippet\": \"{}\"}}{}",
+            e.rule,
+            json_escape(&e.path),
+            json_escape(&e.snippet),
+            comma
+        );
+    }
+    println!("  ],");
+    println!("  \"baselined\": {}", r.baselined);
+    println!("}}");
+}
+
+fn print_human(r: &Reconciled) {
+    for v in &r.new {
+        let name = RULES
+            .iter()
+            .find(|ri| ri.id == v.rule)
+            .map(|ri| ri.name)
+            .unwrap_or("suppression");
+        println!("{}:{}:{}: {} [{}/{}]", v.path, v.line, v.col, v.message, v.rule, name);
+        println!("    {}", v.snippet);
+    }
+    for e in &r.stale {
+        println!(
+            "stale baseline entry: [{}] {} `{}` — the violation is fixed; remove it from the baseline",
+            e.rule, e.path, e.snippet
+        );
+    }
+    if r.new.is_empty() && r.stale.is_empty() {
+        println!("dronelint: clean ({} baselined)", r.baselined);
+    } else {
+        println!(
+            "dronelint: {} new violation(s), {} stale baseline entr(ies), {} baselined",
+            r.new.len(),
+            r.stale.len(),
+            r.baselined
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&args) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("dronelint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = match scan_workspace(&args.root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dronelint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let r = baseline.reconcile(violations);
+    if args.json {
+        print_json(&r);
+    } else {
+        print_human(&r);
+    }
+    if r.new.is_empty() && r.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

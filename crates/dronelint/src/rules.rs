@@ -1,0 +1,269 @@
+//! The lint rules (R1–R5) and their path scoping.
+//!
+//! Every rule is token-level and path-scoped. Rules apply to non-test
+//! code only: `#[cfg(test)]` / `#[test]` regions are exempt, because
+//! tests legitimately compare against `HashMap`s, call `unwrap()`,
+//! and panic on assertion failure.
+
+use crate::scan::Token;
+
+/// Crates whose state participates in the deterministic simulation.
+/// Iteration order and hashing inside these crates is
+/// experiment-visible.
+pub const SIM_CRATES: &[&str] = &["simkern", "binder", "flight", "vdc", "core", "mavlink"];
+
+/// Files in the R3 no-panic scope: hot paths where a panic aborts the
+/// whole simulated fleet instead of surfacing a typed error.
+const R3_FILES: &[&str] = &["crates/binder/src/driver.rs", "crates/mavlink/src/codec.rs"];
+const R3_PREFIXES: &[&str] = &["crates/flight/src/"];
+
+/// Files in the R4 wire-path scope: parsers of attacker-controlled
+/// bytes where a silent `as` truncation corrupts instead of rejects.
+/// `wire.rs` is deliberately *not* listed — it is the audited home
+/// for the few narrowings the format needs.
+const R4_FILES: &[&str] = &["crates/mavlink/src/codec.rs", "crates/mavlink/src/crc.rs"];
+
+/// Numeric primitive types for R4 cast detection.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+/// Interior-mutability wrappers that turn a `static` into shared
+/// mutable state (R5).
+const INTERIOR_MUT: &[&str] = &[
+    "Cell", "RefCell", "UnsafeCell", "Mutex", "RwLock", "OnceCell", "OnceLock", "LazyCell",
+    "LazyLock", "AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "AtomicUsize",
+    "AtomicI8", "AtomicI16", "AtomicI32", "AtomicI64", "AtomicIsize", "AtomicPtr",
+];
+
+/// A rule's static description.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id ("R1".."R5").
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// What the rule protects.
+    pub rationale: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        name: "nondeterministic-collection",
+        rationale: "HashMap/HashSet iteration order varies per process (SipHash random keys); \
+                    sim-state crates must use BTreeMap/BTreeSet or a slab",
+    },
+    RuleInfo {
+        id: "R2",
+        name: "wall-clock-or-entropy",
+        rationale: "Instant/SystemTime/thread_rng read host state, breaking seed-stability; \
+                    use SimTime and the kernel's seeded RNG",
+    },
+    RuleInfo {
+        id: "R3",
+        name: "panic-in-hot-path",
+        rationale: "unwrap/expect/panic! in the Binder driver, flight stack, or MAVLink codec \
+                    aborts the whole fleet; return a typed error",
+    },
+    RuleInfo {
+        id: "R4",
+        name: "bare-numeric-cast",
+        rationale: "a bare `as` in the wire path silently truncates attacker-controlled \
+                    lengths; use try_from or the audited wire.rs helpers",
+    },
+    RuleInfo {
+        id: "R5",
+        name: "mutable-global",
+        rationale: "mutable or interior-mutable statics are cross-run shared state the \
+                    seed does not control",
+    },
+];
+
+/// Returns the crate name for a repo-relative path like
+/// `crates/<name>/src/...`.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+fn in_sim_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| SIM_CRATES.contains(&c))
+}
+
+fn r2_applies(path: &str) -> bool {
+    // Benches measure host time by design; scripts are not simulation
+    // state. Everything else in the workspace is in scope.
+    crate_of(path) != Some("bench") && !path.starts_with("scripts/")
+}
+
+fn r3_applies(path: &str) -> bool {
+    R3_FILES.contains(&path) || R3_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+fn r4_applies(path: &str) -> bool {
+    R4_FILES.contains(&path)
+}
+
+/// A single rule match on one line (before suppression/baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Rule id ("R1".."R5").
+    pub rule: &'static str,
+    /// 1-based column.
+    pub col: usize,
+    /// Violation message.
+    pub message: String,
+}
+
+/// Runs every applicable rule over one tokenized line.
+pub fn check_line(path: &str, tokens: &[Token]) -> Vec<Match> {
+    let mut out = Vec::new();
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let t = tok.text.as_str();
+
+        // R1: nondeterministic collections in sim-state crates.
+        if in_sim_crate(path) && (t == "HashMap" || t == "HashSet") {
+            out.push(Match {
+                rule: "R1",
+                col: tok.col,
+                message: format!("{t} in a sim-state crate: iteration order is not deterministic; use BTreeMap/BTreeSet or a slab"),
+            });
+        }
+
+        // R2: wall clock / host entropy outside bench code.
+        if r2_applies(path) {
+            let banned = match t {
+                "Instant" => Some("std::time::Instant reads the host clock"),
+                "SystemTime" => Some("SystemTime reads the host clock"),
+                "thread_rng" => Some("thread_rng draws host entropy"),
+                "from_entropy" => Some("from_entropy seeds from host entropy"),
+                _ => None,
+            };
+            if let Some(why) = banned {
+                out.push(Match {
+                    rule: "R2",
+                    col: tok.col,
+                    message: format!("{why}; use SimTime / a seeded SmallRng"),
+                });
+            }
+        }
+
+        // R3: panic paths in driver/flight/codec non-test code.
+        if r3_applies(path) {
+            let is_call = text(i + 1) == Some("(");
+            if (t == "unwrap" || t == "expect") && is_call && text(i.wrapping_sub(1)) == Some(".") {
+                out.push(Match {
+                    rule: "R3",
+                    col: tok.col,
+                    message: format!(".{t}() in a no-panic file; return a typed error instead"),
+                });
+            }
+            if t == "panic" && text(i + 1) == Some("!") {
+                out.push(Match {
+                    rule: "R3",
+                    col: tok.col,
+                    message: "panic! in a no-panic file; return a typed error instead".into(),
+                });
+            }
+        }
+
+        // R4: bare numeric `as` casts in the wire path.
+        if r4_applies(path)
+            && t == "as"
+            && text(i + 1).is_some_and(|n| NUMERIC_TYPES.contains(&n))
+        {
+            out.push(Match {
+                rule: "R4",
+                col: tok.col,
+                message: format!(
+                    "bare `as {}` cast in the wire path; use try_from or wire.rs helpers",
+                    text(i + 1).unwrap_or("?")
+                ),
+            });
+        }
+
+        // R5: mutable globals in sim-state crates.
+        if in_sim_crate(path) && t == "static" && text(i.wrapping_sub(1)) != Some("'") {
+            if text(i + 1) == Some("mut") {
+                out.push(Match {
+                    rule: "R5",
+                    col: tok.col,
+                    message: "static mut in a sim-state crate: unsynchronized global mutable state".into(),
+                });
+            } else if tokens.iter().any(|t2| INTERIOR_MUT.contains(&t2.text.as_str())) {
+                out.push(Match {
+                    rule: "R5",
+                    col: tok.col,
+                    message: "static with interior mutability in a sim-state crate: shared mutable state outside the seed's control".into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::tokenize;
+
+    fn matches_on(path: &str, line: &str) -> Vec<&'static str> {
+        check_line(path, &tokenize(line))
+            .into_iter()
+            .map(|m| m.rule)
+            .collect()
+    }
+
+    #[test]
+    fn r1_fires_only_in_sim_crates() {
+        assert_eq!(
+            matches_on("crates/simkern/src/x.rs", "let m: HashMap<u32, u32>;"),
+            vec!["R1"]
+        );
+        assert!(matches_on("crates/cloud/src/x.rs", "let m: HashMap<u32, u32>;").is_empty());
+    }
+
+    #[test]
+    fn r2_exempts_bench() {
+        assert_eq!(
+            matches_on("crates/cloud/src/x.rs", "let t = Instant::now();"),
+            vec!["R2"]
+        );
+        assert!(matches_on("crates/bench/benches/x.rs", "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn r3_matches_method_calls_not_lookalikes() {
+        let p = "crates/flight/src/pid.rs";
+        assert_eq!(matches_on(p, "x.unwrap()"), vec!["R3"]);
+        assert_eq!(matches_on(p, "x.expect(\"boom\")"), vec!["R3"]);
+        assert_eq!(matches_on(p, "panic!(\"boom\")"), vec!["R3"]);
+        assert!(matches_on(p, "x.unwrap_or(0)").is_empty());
+        assert!(matches_on(p, "x.expect_err(\"fine\")").is_empty());
+        assert!(matches_on(p, "fn unwrap() {}").is_empty(), "not a method call");
+    }
+
+    #[test]
+    fn r4_numeric_casts_only_in_wire_files() {
+        let wire = "crates/mavlink/src/codec.rs";
+        assert_eq!(matches_on(wire, "let l = len as u8;"), vec!["R4"]);
+        assert!(matches_on(wire, "use foo as bar;").is_empty());
+        assert!(matches_on("crates/mavlink/src/wire.rs", "let l = len as u8;").is_empty());
+    }
+
+    #[test]
+    fn r5_statics_but_not_lifetimes() {
+        let p = "crates/simkern/src/x.rs";
+        assert_eq!(matches_on(p, "static mut COUNT: u64 = 0;"), vec!["R5"]);
+        assert_eq!(
+            matches_on(p, "pub static TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());"),
+            vec!["R5"]
+        );
+        assert!(matches_on(p, "fn f(s: &'static str) {}").is_empty());
+        assert!(matches_on(p, "static NAMES: [&str; 2] = [\"a\", \"b\"];").is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Source preprocessing: comment/string stripping, test-region
+//! tracking, and line tokenization.
+//!
+//! The lint rules are token-level, so the scanner's job is to produce
+//! a faithful *code view* of each line — comments and literal
+//! contents blanked, everything else preserved with its column — plus
+//! the comment text (for `dronelint:allow` directives) and whether
+//! the line sits inside a `#[cfg(test)]` / `#[test]` region.
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct CodeLine {
+    /// Source with comments and string/char-literal contents blanked
+    /// (replaced by spaces; quotes kept as `"`).
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comment: String,
+    /// Whether the line is inside a test-only region.
+    pub in_test: bool,
+}
+
+enum Mode {
+    Code,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    LineComment,
+    Str,
+    /// Number of `#` marks delimiting the raw string.
+    RawStr(u32),
+}
+
+/// Preprocesses `source` into per-line code/comment views.
+pub fn preprocess(source: &str) -> Vec<CodeLine> {
+    let mut lines = split_lexical(source);
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn split_lexical(source: &str) -> Vec<CodeLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push(CodeLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if starts_with(&chars, i, "/*") {
+                    mode = Mode::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if starts_with(&chars, i, "//") {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if let Some(hashes) = raw_string_open(&chars, i) {
+                    // `r"`, `r#"`, `br##"`, ...: skip to the opening
+                    // quote, blank the marker.
+                    let quote = (i..).find(|&j| chars[j] == '"').unwrap_or(i);
+                    for _ in i..quote {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i = quote + 1;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.push('\'');
+                        for _ in i + 1..end {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime: keep the tick so `'static` is
+                        // distinguishable from the `static` keyword.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::BlockComment(depth) => {
+                if starts_with(&chars, i, "*/") {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if starts_with(&chars, i, "/*") {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(CodeLine {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    lines
+}
+
+fn starts_with(chars: &[char], i: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, p)| chars.get(i + k) == Some(&p))
+}
+
+/// If `chars[i..]` opens a raw string (`r"`, `br#"`, ...), returns
+/// the number of `#` delimiters.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If `chars[i]` is the opening tick of a char literal, returns the
+/// index of its closing tick. Lifetimes return `None`.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the next unescaped tick.
+            let mut j = i + 2;
+            while let Some(&c) = chars.get(j) {
+                if c == '\'' {
+                    return Some(j);
+                }
+                if c == '\n' {
+                    return None;
+                }
+                j += if c == '\\' { 2 } else { 1 };
+            }
+            None
+        }
+        Some(_) => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+        None => None,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` item bodies.
+///
+/// An attribute latches `pending`; the next `{` at any depth opens a
+/// test region that closes when brace depth returns to its opening
+/// level. A `;` before any `{` (e.g. `#[cfg(test)] mod tests;`)
+/// clears the latch.
+fn mark_test_regions(lines: &mut [CodeLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_starts: Vec<i64> = Vec::new();
+
+    for line in lines.iter_mut() {
+        let started_inside = !region_starts.is_empty();
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[test]") {
+            pending = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_starts.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_starts.last() == Some(&depth) {
+                        region_starts.pop();
+                    }
+                }
+                ';' => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = started_inside || !region_starts.is_empty();
+    }
+}
+
+/// One token of a code line: an identifier or a single punctuation
+/// character, with its 1-based column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+/// Tokenizes a blanked code line into identifiers and punctuation.
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut ident = String::new();
+    let mut ident_col = 0;
+    for (k, c) in code.chars().enumerate() {
+        if c.is_alphanumeric() || c == '_' {
+            if ident.is_empty() {
+                ident_col = k + 1;
+            }
+            ident.push(c);
+        } else {
+            if !ident.is_empty() {
+                tokens.push(Token {
+                    text: std::mem::take(&mut ident),
+                    col: ident_col,
+                });
+            }
+            if !c.is_whitespace() {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    col: k + 1,
+                });
+            }
+        }
+    }
+    if !ident.is_empty() {
+        tokens.push(Token {
+            text: ident,
+            col: ident_col,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        preprocess(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_are_blanked_and_captured() {
+        let lines = preprocess("let x = 1; // HashMap here\n/* also HashMap */ let y = 2;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap here"));
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let c = codes("let s = \"HashMap::new()\";\nlet r = r#\"unwrap()\"#;\n");
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[1].contains("let r"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = codes("let c = 'a'; let q: &'static str = x; let esc = '\\n';\n");
+        assert!(c[0].contains("'static"), "{}", c[0]);
+        assert!(!c[0].contains("\\n"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("/* outer /* inner */ still comment */ code();\n");
+        assert!(c[0].contains("code()"));
+        assert!(!c[0].contains("inner"));
+    }
+
+    #[test]
+    fn multi_line_strings_stay_blanked() {
+        let c = codes("let s = \"first\nunwrap() second\";\nafter();\n");
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("after"));
+    }
+
+    #[test]
+    fn test_regions_cover_mod_and_fn() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let lines = preprocess(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test, "inside test mod");
+        assert!(!lines[5].in_test, "after test mod");
+    }
+
+    #[test]
+    fn cfg_test_on_statement_does_not_latch_forever() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x(); }\n";
+        let lines = preprocess(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn tokenizer_splits_idents_and_punct() {
+        let toks = tokenize("x.unwrap() as u8");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["x", ".", "unwrap", "(", ")", "as", "u8"]);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: a clean sim-crate file. Scanned with the pretend path
+// crates/simkern/src/good.rs — zero violations expected.
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    by_name: BTreeMap<String, u32>,
+}
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub static LIMITS: [u32; 3] = [1, 2, 3];
+
+/// Docs may mention HashMap, Instant::now, unwrap() freely.
+pub fn checked_len(payload: &[u8]) -> Option<u8> {
+    u8::try_from(payload.len()).ok()
+}

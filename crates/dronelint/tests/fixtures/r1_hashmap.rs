@@ -1,0 +1,28 @@
+// Fixture: seeded R1 violations. Scanned with the pretend path
+// crates/simkern/src/bad_collections.rs.
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+}
+
+pub fn lookup_set() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new()
+}
+
+// A doc mention of HashMap must NOT fire: comments are blanked.
+/// Returns a map; historically a HashMap, now ordered.
+pub fn ordered() -> std::collections::BTreeMap<String, u32> {
+    std::collections::BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt.
+    use std::collections::HashMap;
+
+    #[test]
+    fn compares_against_hashmap() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

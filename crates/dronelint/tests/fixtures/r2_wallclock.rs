@@ -1,0 +1,23 @@
+// Fixture: seeded R2 violations. Scanned with the pretend path
+// crates/cloud/src/bad_time.rs.
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn wall_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+// "Instant" inside a string must NOT fire.
+pub const LABEL: &str = "Instant replay";

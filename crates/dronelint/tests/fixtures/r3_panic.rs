@@ -1,0 +1,31 @@
+// Fixture: seeded R3 violations. Scanned with the pretend path
+// crates/flight/src/bad_panic.rs.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("must be set")
+}
+
+pub fn boom() {
+    panic!("unreachable state");
+}
+
+// Lookalikes must NOT fire.
+pub fn soft(x: Option<u32>) -> u32 {
+    x.unwrap_or(7)
+}
+
+pub fn err_side(x: Result<u32, u32>) -> u32 {
+    x.expect_err("want the error")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: seeded R4 violations. Scanned with the pretend path
+// crates/mavlink/src/codec.rs (the wire scope).
+pub fn frame_len(payload: &[u8]) -> u8 {
+    payload.len() as u8
+}
+
+pub fn widen(x: u8) -> u16 {
+    x as u16
+}
+
+// Non-numeric `as` must NOT fire.
+pub use core::option::Option as Maybe;
+
+// try_from is the sanctioned spelling.
+pub fn checked_len(payload: &[u8]) -> Option<u8> {
+    u8::try_from(payload.len()).ok()
+}

@@ -1,0 +1,12 @@
+// Fixture: seeded R5 violations. Scanned with the pretend path
+// crates/binder/src/bad_globals.rs.
+pub static mut TICKS: u64 = 0;
+
+pub static CACHE: std::sync::Mutex<Vec<u32>> = std::sync::Mutex::new(Vec::new());
+
+// Immutable statics and 'static lifetimes must NOT fire.
+pub static NAMES: [&str; 2] = ["alpha", "beta"];
+
+pub fn greet(name: &'static str) -> &'static str {
+    name
+}

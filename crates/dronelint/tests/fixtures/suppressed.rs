@@ -1,0 +1,10 @@
+// Fixture: inline suppressions. Scanned with the pretend path
+// crates/vdc/src/suppressed.rs.
+use std::collections::HashMap; // dronelint:allow(R1, interop shim; keys are re-sorted before any iteration)
+
+// dronelint:allow(R1, scratch map local to one tick; order never observed)
+pub fn scratch() -> HashMap<u32, u32> {
+    // The call below is deliberately NOT suppressed: an allow
+    // directive covers exactly one code line.
+    HashMap::new()
+}

@@ -9,6 +9,7 @@
 
 use androne_hal::{GeoPoint, Vec3, G};
 use androne_mavlink::{deg_to_e7, e7_to_deg, FlightMode, MavCmd, MavResult, Message};
+use androne_simkern::{StateHash, StateHasher};
 
 use crate::estimator::StateEstimate;
 use crate::physics::{wrap_pi, AirframeParams};
@@ -513,6 +514,71 @@ impl FlightController {
             });
         }
         out
+    }
+}
+
+impl StateHash for FlightController {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.params.state_hash(h);
+        self.home.state_hash(h);
+        h.write_u32(self.mode.custom_mode());
+        h.write_bool(self.armed);
+        match self.phase {
+            Phase::Grounded => h.write_u8(0),
+            Phase::TakingOff { target_alt } => {
+                h.write_u8(1);
+                h.write_f64(target_alt);
+            }
+            Phase::Flying => h.write_u8(2),
+            Phase::Landing => h.write_u8(3),
+        }
+        match self.guided_target {
+            Some(t) => {
+                h.write_u8(1);
+                t.position.state_hash(h);
+                h.write_f64(t.speed);
+            }
+            None => h.write_u8(0),
+        }
+        match self.hold_position {
+            Some(p) => {
+                h.write_u8(1);
+                p.state_hash(h);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_f64(self.yaw_target);
+        h.write_usize(self.mission.len());
+        for wp in &self.mission {
+            wp.state_hash(h);
+        }
+        h.write_usize(self.mission_index);
+        match &self.mission_upload {
+            Some((count, items)) => {
+                h.write_u8(1);
+                h.write_u32(u32::from(*count));
+                h.write_usize(items.len());
+                for wp in items {
+                    wp.state_hash(h);
+                }
+            }
+            None => h.write_u8(0),
+        }
+        match self.mount_target {
+            Some((pitch, yaw)) => {
+                h.write_u8(1);
+                h.write_f64(pitch);
+                h.write_f64(yaw);
+            }
+            None => h.write_u8(0),
+        }
+        self.vel_n.state_hash(h);
+        self.vel_e.state_hash(h);
+        self.climb.state_hash(h);
+        self.rate_roll.state_hash(h);
+        self.rate_pitch.state_hash(h);
+        self.rate_yaw.state_hash(h);
+        h.write_u64(self.loop_count);
     }
 }
 

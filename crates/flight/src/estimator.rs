@@ -10,6 +10,7 @@
 //! dead-reckoning; altitude blends the barometer.
 
 use androne_hal::{Attitude, Barometer, GeoPoint, GpsFix, ImuSample, Vec3};
+use androne_simkern::{StateHash, StateHasher};
 
 use crate::physics::wrap_pi;
 
@@ -117,6 +118,24 @@ impl Estimator {
             .abs()
             .max((self.est.attitude.pitch - truth.pitch).abs())
             .max(wrap_pi(self.est.attitude.yaw - truth.yaw).abs())
+    }
+}
+
+impl StateHash for StateEstimate {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.position.state_hash(h);
+        self.velocity.state_hash(h);
+        self.attitude.state_hash(h);
+        self.rates.state_hash(h);
+    }
+}
+
+impl StateHash for Estimator {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.est.state_hash(h);
+        h.write_f64(self.att_tau);
+        self.gyro_bias.state_hash(h);
+        h.write_bool(self.initialized);
     }
 }
 

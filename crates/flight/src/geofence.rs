@@ -54,6 +54,13 @@ impl Geofence {
     }
 }
 
+impl androne_simkern::StateHash for Geofence {
+    fn state_hash(&self, h: &mut androne_simkern::StateHasher) {
+        androne_simkern::StateHash::state_hash(&self.center, h);
+        h.write_f64(self.radius_m);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,17 @@ impl FlightRecorder {
     }
 }
 
+impl androne_simkern::StateHash for FlightRecorder {
+    fn state_hash(&self, h: &mut androne_simkern::StateHasher) {
+        h.write_usize(self.samples.len());
+        for s in &self.samples {
+            h.write_f64(s.t);
+            s.estimated.state_hash(h);
+            s.canonical.state_hash(h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

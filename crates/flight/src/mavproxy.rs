@@ -22,6 +22,7 @@ use std::rc::Rc;
 
 use androne_hal::GeoPoint;
 use androne_mavlink::{deg_to_e7, FlightMode, Message};
+use androne_simkern::{StateHash, StateHasher};
 
 use crate::sitl::Sitl;
 use crate::vfc::{Vfc, VfcDecision, VfcState};
@@ -320,6 +321,49 @@ impl MavProxy {
     /// Whether a breach recovery is in progress.
     pub fn recovering(&self) -> bool {
         self.recovery.is_some()
+    }
+}
+
+impl StateHash for MavProxy {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_usize(self.clients.len());
+        for (name, conn) in &self.clients {
+            h.write_str(name);
+            match &conn.vfc {
+                Some(vfc) => {
+                    h.write_u8(1);
+                    vfc.state_hash(h);
+                }
+                None => h.write_u8(0),
+            }
+            // Queued messages hash by their wire form: msg id plus
+            // encoded payload is a stable, total serialization.
+            h.write_usize(conn.outbox.len());
+            for msg in &conn.outbox {
+                h.write_u8(msg.msg_id());
+                h.write_bytes(&msg.encode_payload());
+            }
+        }
+        match &self.recovery {
+            Some(r) => {
+                h.write_u8(1);
+                h.write_str(&r.client);
+                match r.phase {
+                    RecoveryPhase::GuidingBack { target } => {
+                        h.write_u8(0);
+                        target.state_hash(h);
+                    }
+                    RecoveryPhase::Loitering { steps_left } => {
+                        h.write_u8(1);
+                        h.write_u32(steps_left);
+                    }
+                }
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u64(self.commands_denied);
+        h.write_u64(self.commands_forwarded);
+        h.write_u64(self.breaches_handled);
     }
 }
 

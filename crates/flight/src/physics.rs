@@ -9,6 +9,7 @@
 //! Section 6.6 setup.
 
 use androne_hal::{Attitude, GeoPoint, Vec3, VehicleTruth, G};
+use androne_simkern::{StateHash, StateHasher};
 
 /// Air density at sea level, kg/m³.
 pub const AIR_DENSITY: f64 = 1.225;
@@ -200,6 +201,34 @@ impl QuadPhysics {
     /// Current NED position relative to home.
     pub fn ned(&self) -> Vec3 {
         self.ned
+    }
+}
+
+impl StateHash for AirframeParams {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_f64(self.mass);
+        h.write_f64(self.arm_length);
+        h.write_f64(self.max_thrust_per_motor);
+        h.write_f64(self.inertia_xy);
+        h.write_f64(self.inertia_z);
+        h.write_f64(self.yaw_torque_coeff);
+        h.write_f64(self.drag_coeff);
+        h.write_f64(self.prop_disk_area);
+        h.write_f64(self.powertrain_efficiency);
+        h.write_f64(self.avionics_power_w);
+        h.write_f64(self.battery_capacity_j);
+    }
+}
+
+impl StateHash for QuadPhysics {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.params.state_hash(h);
+        self.home.state_hash(h);
+        self.ned.state_hash(h);
+        self.vel.state_hash(h);
+        self.att.state_hash(h);
+        self.rates.state_hash(h);
+        self.wind.state_hash(h);
     }
 }
 

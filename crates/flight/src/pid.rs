@@ -60,6 +60,24 @@ impl Pid {
     }
 }
 
+impl androne_simkern::StateHash for Pid {
+    fn state_hash(&self, h: &mut androne_simkern::StateHasher) {
+        h.write_f64(self.kp);
+        h.write_f64(self.ki);
+        h.write_f64(self.kd);
+        h.write_f64(self.out_limit);
+        h.write_f64(self.int_limit);
+        h.write_f64(self.integ);
+        match self.last_err {
+            Some(e) => {
+                h.write_u8(1);
+                h.write_f64(e);
+            }
+            None => h.write_u8(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

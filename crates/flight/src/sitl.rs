@@ -8,7 +8,7 @@
 
 use androne_hal::{share, GeoPoint, HardwareBoard, SharedBoard, Vec3};
 use androne_mavlink::{FlightMode, Message};
-use androne_simkern::SimDuration;
+use androne_simkern::{SimDuration, StateHash, StateHasher};
 
 use crate::controller::{FlightController, FAST_LOOP_HZ};
 use crate::estimator::Estimator;
@@ -204,6 +204,23 @@ impl Sitl {
             }
         }
         false
+    }
+}
+
+impl StateHash for Sitl {
+    fn state_hash(&self, h: &mut StateHasher) {
+        // The board's sensor-noise RNG state is not hashed directly,
+        // but every draw lands in the estimator (via noisy samples)
+        // and the physics (via motor commands computed from the
+        // estimate), so a diverging RNG stream shows up here within
+        // one fast-loop step.
+        self.board.borrow().truth.borrow().state_hash(h);
+        self.physics.state_hash(h);
+        self.estimator.state_hash(h);
+        self.fc.state_hash(h);
+        h.write_u64(self.step_count);
+        h.write_f64(self.max_attitude_divergence);
+        self.recorder.state_hash(h);
     }
 }
 

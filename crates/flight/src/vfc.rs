@@ -24,6 +24,7 @@ use std::rc::Rc;
 
 use androne_hal::GeoPoint;
 use androne_mavlink::{deg_to_e7, FlightMode, Message};
+use androne_simkern::{StateHash, StateHasher};
 
 use crate::geofence::Geofence;
 use crate::whitelist::CommandWhitelist;
@@ -291,6 +292,30 @@ impl Vfc {
                 }),
                 _ => None,
             },
+        }
+    }
+}
+
+impl StateHash for Vfc {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_str(&self.client);
+        self.whitelist.state_hash(h);
+        self.geofence.state_hash(h);
+        h.write_bool(self.continuous_view);
+        h.write_u8(match self.state {
+            VfcState::Pending => 0,
+            VfcState::Approaching => 1,
+            VfcState::Active => 2,
+            VfcState::BreachRecovery => 3,
+            VfcState::Finished => 4,
+        });
+        h.write_f64(self.synthetic_alt);
+        match self.frozen_position {
+            Some(p) => {
+                h.write_u8(1);
+                p.state_hash(h);
+            }
+            None => h.write_u8(0),
         }
     }
 }

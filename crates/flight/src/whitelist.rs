@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use androne_mavlink::{FlightMode, MavCmd, Message};
+use androne_simkern::{StateHash, StateHasher};
 
 /// A whitelist of MAVLink traffic a VFC connection will accept.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +107,22 @@ impl CommandWhitelist {
             // Telemetry-direction messages carry no authority.
             _ => true,
         }
+    }
+}
+
+impl StateHash for CommandWhitelist {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.allowed_cmds.len());
+        for cmd in &self.allowed_cmds {
+            h.write_u32(u32::from(*cmd));
+        }
+        h.write_usize(self.allowed_modes.len());
+        for mode in &self.allowed_modes {
+            h.write_u32(*mode);
+        }
+        h.write_bool(self.allow_position_targets);
+        h.write_bool(self.allow_mission_upload);
     }
 }
 

@@ -17,6 +17,7 @@ pub mod device;
 pub mod geo;
 pub mod misc;
 pub mod sensors;
+pub mod statehash;
 pub mod truth;
 
 pub use board::{share, HardwareBoard, SharedBoard};

@@ -1,0 +1,73 @@
+//! [`StateHash`] impls for the hardware-facing value types.
+//!
+//! These live here (not in the consuming crates) because the trait is
+//! foreign and the types are local: the orphan rule lets `androne-hal`
+//! implement `androne_simkern::StateHash` for its own structs, and
+//! every sim-state crate above (flight, vdc, core) reuses them.
+
+use androne_simkern::{StateHash, StateHasher};
+
+use crate::geo::{Attitude, GeoPoint, Vec3};
+use crate::truth::VehicleTruth;
+
+impl StateHash for Vec3 {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_f64(self.x);
+        h.write_f64(self.y);
+        h.write_f64(self.z);
+    }
+}
+
+impl StateHash for GeoPoint {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_f64(self.latitude);
+        h.write_f64(self.longitude);
+        h.write_f64(self.altitude);
+    }
+}
+
+impl StateHash for Attitude {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_f64(self.roll);
+        h.write_f64(self.pitch);
+        h.write_f64(self.yaw);
+    }
+}
+
+impl StateHash for VehicleTruth {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.position.state_hash(h);
+        self.velocity.state_hash(h);
+        self.attitude.state_hash(h);
+        self.body_rates.state_hash(h);
+        self.specific_force.state_hash(h);
+        h.write_bool(self.on_ground);
+        for m in self.motor_outputs {
+            h.write_f64(m);
+        }
+        h.write_f64(self.battery_voltage);
+        h.write_f64(self.battery_current);
+        h.write_f64(self.energy_consumed_j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec3_components_are_order_sensitive() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(3.0, 2.0, 1.0);
+        assert_ne!(a.hash_value(), b.hash_value());
+    }
+
+    #[test]
+    fn truth_hash_tracks_motor_outputs() {
+        let home = GeoPoint::new(43.6, -85.8, 0.0);
+        let a = VehicleTruth::at_rest(home);
+        let mut b = a;
+        b.motor_outputs[2] = 0.5;
+        assert_ne!(a.hash_value(), b.hash_value());
+    }
+}

@@ -9,6 +9,7 @@
 use crate::crc::{accumulate, CRC_INIT};
 use crate::error::MavError;
 use crate::message::Message;
+use crate::wire;
 
 /// MAVLink v1 start-of-frame marker.
 pub const STX: u8 = 0xFE;
@@ -33,7 +34,7 @@ impl Frame {
         let msg_id = self.msg.msg_id();
         let mut out = Vec::with_capacity(8 + payload.len());
         out.push(STX);
-        out.push(payload.len() as u8);
+        out.push(wire::len8(payload.len()));
         out.push(self.seq);
         out.push(self.sysid);
         out.push(self.compid);
@@ -43,11 +44,9 @@ impl Frame {
         for &b in &out[1..] {
             crc = accumulate(crc, b);
         }
-        // CRC_EXTRA is known for every id we can encode.
-        let extra = Message::crc_extra(msg_id).expect("own message id has CRC_EXTRA");
-        crc = accumulate(crc, extra);
-        out.push((crc & 0xFF) as u8);
-        out.push((crc >> 8) as u8);
+        crc = accumulate(crc, self.msg.own_crc_extra());
+        out.push(wire::lo8(crc));
+        out.push(wire::hi8(crc));
         out
     }
 }
@@ -122,7 +121,7 @@ impl Parser {
             if pending.len() < 8 {
                 break;
             }
-            let len = pending[1] as usize;
+            let len = usize::from(pending[1]);
             let total = 8 + len;
             if pending.len() < total {
                 break;
@@ -143,11 +142,20 @@ impl Parser {
 }
 
 fn decode_frame(b: &[u8]) -> Result<Frame, MavError> {
-    debug_assert_eq!(b[0], STX);
-    let len = b[1] as usize;
-    let (seq, sysid, compid, msg_id) = (b[2], b[3], b[4], b[5]);
-    let payload = &b[6..6 + len];
-    let received = u16::from(b[6 + len]) | (u16::from(b[7 + len]) << 8);
+    // The length byte is attacker-controlled: every derived offset is
+    // bounds-checked with `get`, never indexed (dronelint R3/R4).
+    let truncated = |needed: usize| MavError::Truncated {
+        needed,
+        got: b.len(),
+    };
+    let header = b.get(..6).ok_or_else(|| truncated(8))?;
+    debug_assert_eq!(header[0], STX);
+    let len = usize::from(header[1]);
+    let (seq, sysid, compid, msg_id) = (header[2], header[3], header[4], header[5]);
+    let payload = b.get(6..6 + len).ok_or_else(|| truncated(8 + len))?;
+    let crc_lo = *b.get(6 + len).ok_or_else(|| truncated(8 + len))?;
+    let crc_hi = *b.get(7 + len).ok_or_else(|| truncated(8 + len))?;
+    let received = u16::from(crc_lo) | (u16::from(crc_hi) << 8);
 
     let mut crc = CRC_INIT;
     for &x in &b[1..6 + len] {

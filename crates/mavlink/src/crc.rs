@@ -5,12 +5,10 @@ pub const CRC_INIT: u16 = 0xFFFF;
 
 /// Accumulates one byte into the CRC (the MAVLink `crc_accumulate`).
 pub fn accumulate(crc: u16, byte: u8) -> u16 {
-    let mut tmp = byte ^ (crc & 0xFF) as u8;
+    let mut tmp = byte ^ crate::wire::lo8(crc);
     tmp ^= tmp << 4;
-    (crc >> 8)
-        ^ ((tmp as u16) << 8)
-        ^ ((tmp as u16) << 3)
-        ^ ((tmp as u16) >> 4)
+    let wide = u16::from(tmp);
+    (crc >> 8) ^ (wide << 8) ^ (wide << 3) ^ (wide >> 4)
 }
 
 /// CRC over a byte slice starting from [`CRC_INIT`].

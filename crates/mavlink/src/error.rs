@@ -13,6 +13,14 @@ pub enum MavError {
     UnknownMode(u32),
     /// Frame or payload failed structural validation.
     Malformed(String),
+    /// Frame shorter than its declared layout (attacker-controlled
+    /// length fields are rejected, never used to index).
+    Truncated {
+        /// Bytes the declared layout requires.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
     /// Checksum mismatch.
     BadChecksum {
         /// CRC computed from the frame contents.
@@ -29,6 +37,9 @@ impl fmt::Display for MavError {
             MavError::UnknownCommand(id) => write!(f, "unknown MAV_CMD {id}"),
             MavError::UnknownMode(m) => write!(f, "unknown flight mode {m}"),
             MavError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            MavError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
             MavError::BadChecksum { computed, received } => {
                 write!(f, "bad checksum: computed {computed:04x}, received {received:04x}")
             }

@@ -9,6 +9,8 @@
 //!   with ArduPilot Copter flight-mode numbering.
 //! - [`codec`]: MAVLink v1 framing with an incremental, resyncing
 //!   parser.
+//! - [`wire`]: audited narrowing helpers; the only place the wire
+//!   path is allowed to truncate integers (dronelint R4).
 //! - [`connection`]: simulated endpoint pairs over
 //!   [`androne_simkern::LinkModel`]s (LTE, RF, Ethernet) for the
 //!   Section 6.5 network experiments.
@@ -18,6 +20,7 @@ pub mod connection;
 pub mod crc;
 pub mod error;
 pub mod message;
+pub mod wire;
 
 pub use codec::{Frame, Parser, STX};
 pub use connection::{channel, MavEndpoint};

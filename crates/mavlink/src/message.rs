@@ -318,6 +318,22 @@ impl Message {
         })
     }
 
+    /// CRC_EXTRA of this message. Infallible: [`Message::msg_id`]
+    /// only returns ids present in the [`Message::crc_extra`] table,
+    /// so the encoder needs no `expect` (dronelint R3).
+    pub fn own_crc_extra(&self) -> u8 {
+        match Self::crc_extra(self.msg_id()) {
+            Ok(extra) => extra,
+            // Unreachable by construction; a stable (wrong) byte here
+            // still fails checksums loudly rather than panicking the
+            // flight path.
+            Err(_) => {
+                debug_assert!(false, "own msg_id missing from CRC_EXTRA table");
+                0
+            }
+        }
+    }
+
     /// Serializes the payload (little-endian, declaration order).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();

@@ -214,6 +214,26 @@ impl ResourceSet {
     }
 }
 
+impl crate::statehash::StateHash for SharedResource {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        h.write_u8(self.kind as u8);
+        h.write_f64(self.capacity);
+        h.write_usize(self.demands.len());
+        for (client, demand) in &self.demands {
+            h.write_str(&client.0);
+            h.write_f64(*demand);
+        }
+    }
+}
+
+impl crate::statehash::StateHash for ResourceSet {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        for r in self.resources.values() {
+            crate::statehash::StateHash::state_hash(r, h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -154,6 +154,25 @@ impl<W> EventQueue<W> {
     }
 }
 
+impl<W> crate::statehash::StateHash for EventQueue<W> {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        // Closures cannot be hashed; the schedule's shape can. The
+        // deadline multiset plus the allocation counter pins down
+        // when every pending event fires and in what order, which is
+        // exactly the determinism-relevant part of the queue.
+        crate::statehash::StateHash::state_hash(&self.now, h);
+        h.write_u64(self.next_seq);
+        h.write_usize(self.heap.len());
+        let mut deadlines: Vec<(SimTime, u64)> =
+            self.heap.iter().map(|e| (e.at, e.seq)).collect();
+        deadlines.sort_unstable();
+        for (at, seq) in deadlines {
+            crate::statehash::StateHash::state_hash(&at, h);
+            h.write_u64(seq);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

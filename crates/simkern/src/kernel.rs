@@ -143,6 +143,24 @@ impl Kernel {
     }
 }
 
+impl crate::statehash::StateHash for Kernel {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        // The RNG's internal counter is not observable, but every
+        // draw it makes lands in hashed state (sensor noise reaches
+        // the estimator, latency samples reach histograms), so a
+        // skewed draw sequence still surfaces as a divergence.
+        h.write_u8(match self.config.preemption {
+            Preemption::None => 0,
+            Preemption::Preempt => 1,
+            Preemption::PreemptRt => 2,
+        });
+        crate::statehash::StateHash::state_hash(&self.now, h);
+        crate::statehash::StateHash::state_hash(&self.tasks, h);
+        crate::statehash::StateHash::state_hash(&self.mem, h);
+        crate::statehash::StateHash::state_hash(&self.resources, h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,8 @@
 //!   (Figure 11) built from Poisson non-preemptible kernel sections.
 //! - [`kernel`]: the assembled [`kernel::Kernel`] with build-time
 //!   [`kernel::KernelConfig`].
+//! - [`statehash`]: the [`StateHash`] trait and stable FNV hasher
+//!   behind the dual-run determinism sanitizer.
 //! - [`stats`]: summary/histogram helpers for the evaluation
 //!   harnesses.
 //!
@@ -33,6 +35,7 @@ pub mod kernel;
 pub mod latency;
 pub mod mem;
 pub mod net;
+pub mod statehash;
 pub mod stats;
 pub mod task;
 pub mod time;
@@ -44,6 +47,7 @@ pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{MemOwner, MemoryLedger, MIB};
 pub use net::LinkModel;
+pub use statehash::{StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};
 pub use task::{ContainerId, Euid, Pid, SchedPolicy, Task, TaskState, TaskTable};
 pub use time::{SimDuration, SimTime};

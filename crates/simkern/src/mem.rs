@@ -114,6 +114,17 @@ impl MemoryLedger {
     }
 }
 
+impl crate::statehash::StateHash for MemoryLedger {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        h.write_u64(self.usable);
+        h.write_usize(self.allocated.len());
+        for (owner, bytes) in &self.allocated {
+            h.write_str(&owner.0);
+            h.write_u64(*bytes);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,184 @@
+//! Deterministic state hashing (the runtime half of `dronelint`).
+//!
+//! Every simulated subsystem implements [`StateHash`], folding its
+//! observable state into a [`StateHasher`]. The dual-run sanitizer
+//! executes the same mission twice under one seed and compares the
+//! per-tick hash vectors; any nondeterminism source — unordered map
+//! iteration, a wall-clock read, unseeded randomness — shows up as a
+//! hash divergence attributable to the first component and tick where
+//! the runs split.
+//!
+//! The hasher is FNV-1a (64-bit): tiny, allocation-free, and — unlike
+//! `std::collections::hash_map::DefaultHasher` — guaranteed stable
+//! across Rust releases and processes, which is what makes hashes
+//! comparable between runs and recordable in test expectations.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental, stable 64-bit state hasher.
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    state: u64,
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StateHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Folds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64`.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` widened to 64 bits so 32- and 64-bit hosts
+    /// hash identically.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Folds an `f64` by bit pattern. NaN payloads and signed zeros
+    /// are distinguished deliberately: a run that produces `-0.0`
+    /// where another produced `0.0` has diverged.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string with a length prefix (so `("ab", "c")` and
+    /// `("a", "bc")` hash differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A type whose deterministic-simulation-relevant state can be folded
+/// into a [`StateHasher`].
+///
+/// Implementations must visit state in a *fixed* order (struct field
+/// order, `BTreeMap` iteration order) and must cover every field that
+/// influences future behavior. Caches are included on purpose: a
+/// cache whose contents differ between same-seed runs is itself a
+/// determinism bug even if reads happen to coincide.
+pub trait StateHash {
+    /// Folds this value's state into `h`.
+    fn state_hash(&self, h: &mut StateHasher);
+
+    /// Convenience: the value's standalone hash.
+    fn hash_value(&self) -> u64 {
+        let mut h = StateHasher::new();
+        self.state_hash(&mut h);
+        h.finish()
+    }
+}
+
+impl StateHash for crate::time::SimTime {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.as_nanos());
+    }
+}
+
+impl StateHash for crate::time::SimDuration {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.as_nanos());
+    }
+}
+
+impl StateHash for crate::task::Pid {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StateHash for crate::task::Euid {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StateHash for crate::task::ContainerId {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c.
+        let mut h = StateHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn empty_hash_is_offset_basis() {
+        assert_eq!(StateHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_strings() {
+        let mut a = StateHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StateHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_sign_of_zero_is_visible() {
+        let mut a = StateHasher::new();
+        a.write_f64(0.0);
+        let mut b = StateHasher::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::KernelError;
+use crate::statehash::{StateHash, StateHasher};
 
 /// A process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -230,6 +231,53 @@ impl TaskTable {
     /// Returns `true` when no live tasks exist.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl StateHash for SchedPolicy {
+    fn state_hash(&self, h: &mut StateHasher) {
+        match self {
+            SchedPolicy::Normal { nice } => {
+                h.write_u8(0);
+                h.write_i64(i64::from(*nice));
+            }
+            SchedPolicy::Fifo { rt_prio } => {
+                h.write_u8(1);
+                h.write_u8(*rt_prio);
+            }
+            SchedPolicy::RoundRobin { rt_prio } => {
+                h.write_u8(2);
+                h.write_u8(*rt_prio);
+            }
+        }
+    }
+}
+
+impl StateHash for Task {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.pid.state_hash(h);
+        h.write_str(&self.name);
+        self.euid.state_hash(h);
+        self.container.state_hash(h);
+        self.policy.state_hash(h);
+        h.write_u8(match self.state {
+            TaskState::Running => 0,
+            TaskState::Sleeping => 1,
+            TaskState::Dead => 2,
+        });
+        h.write_bool(self.mlocked);
+    }
+}
+
+impl StateHash for TaskTable {
+    fn state_hash(&self, h: &mut StateHasher) {
+        // Dead-but-unreaped tasks are part of the state: a run that
+        // reaped earlier than another has diverged.
+        h.write_usize(self.tasks.len());
+        for task in self.tasks.values() {
+            task.state_hash(h);
+        }
+        h.write_u32(self.next_pid);
     }
 }
 

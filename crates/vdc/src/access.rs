@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use androne_android::{DeviceClass, DevicePolicy};
-use androne_simkern::ContainerId;
+use androne_simkern::{ContainerId, StateHash, StateHasher};
 
 /// Where a virtual drone is in its flight lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +148,42 @@ impl DevicePolicy for AccessTable {
             return started && !finished && !e.continuous_suspended;
         }
         false
+    }
+}
+
+impl StateHash for AccessTable {
+    fn state_hash(&self, h: &mut StateHasher) {
+        let write_container = |h: &mut StateHasher, c: Option<ContainerId>| match c {
+            Some(c) => {
+                h.write_u8(1);
+                c.state_hash(h);
+            }
+            None => h.write_u8(0),
+        };
+        write_container(h, self.device_container);
+        write_container(h, self.flight_container);
+        h.write_usize(self.entries.len());
+        for (container, e) in &self.entries {
+            container.state_hash(h);
+            h.write_usize(e.waypoint_devices.len());
+            for d in &e.waypoint_devices {
+                h.write_u8(*d as u8);
+            }
+            h.write_usize(e.continuous_devices.len());
+            for d in &e.continuous_devices {
+                h.write_u8(*d as u8);
+            }
+            match e.phase {
+                FlightPhase::BeforeFirstWaypoint => h.write_u8(0),
+                FlightPhase::AtWaypoint(i) => {
+                    h.write_u8(1);
+                    h.write_usize(i);
+                }
+                FlightPhase::Transit => h.write_u8(2),
+                FlightPhase::Finished => h.write_u8(3),
+            }
+            h.write_bool(e.continuous_suspended);
+        }
     }
 }
 

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use androne_android::{svc_codes, svc_names, DeviceClass};
 use androne_binder::{get_service, BinderDriver, Parcel};
-use androne_simkern::{ContainerId, Kernel, Pid};
+use androne_simkern::{ContainerId, Kernel, Pid, StateHash, StateHasher};
 
 use crate::access::{AccessTable, FlightPhase};
 use crate::spec::{VirtualDroneSpec, WaypointSpec};
@@ -362,6 +362,79 @@ impl Vdc {
                 self.access.borrow().allows(rec.container, device)
             }
             None => false,
+        }
+    }
+}
+
+impl StateHash for VdcEvent {
+    fn state_hash(&self, h: &mut StateHasher) {
+        match self {
+            VdcEvent::WaypointActive { index, waypoint } => {
+                h.write_u8(0);
+                h.write_usize(*index);
+                h.write_f64(waypoint.latitude);
+                h.write_f64(waypoint.longitude);
+                h.write_f64(waypoint.altitude);
+                h.write_f64(waypoint.max_radius);
+            }
+            VdcEvent::WaypointInactive { index } => {
+                h.write_u8(1);
+                h.write_usize(*index);
+            }
+            VdcEvent::LowEnergyWarning { remaining_j } => {
+                h.write_u8(2);
+                h.write_f64(*remaining_j);
+            }
+            VdcEvent::LowTimeWarning { remaining_s } => {
+                h.write_u8(3);
+                h.write_f64(*remaining_s);
+            }
+            VdcEvent::GeofenceBreached => h.write_u8(4),
+            VdcEvent::SuspendContinuousDevices => h.write_u8(5),
+            VdcEvent::ResumeContinuousDevices => h.write_u8(6),
+        }
+    }
+}
+
+impl StateHash for VdRecord {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_str(&self.name);
+        self.container.state_hash(h);
+        // The spec is immutable after registration; its canonical
+        // JSON form (BTreeMap-ordered keys) is a stable encoding.
+        h.write_str(&serde_json::to_string(&self.spec).unwrap_or_default());
+        h.write_f64(self.energy_used_j);
+        h.write_f64(self.time_used_s);
+        h.write_bool(self.energy_warned);
+        h.write_bool(self.time_warned);
+        h.write_usize(self.waypoints_completed);
+        h.write_usize(self.events.len());
+        for e in &self.events {
+            e.state_hash(h);
+        }
+        h.write_usize(self.marked_files.len());
+        for f in &self.marked_files {
+            h.write_str(f);
+        }
+        h.write_bool(self.waypoint_done);
+    }
+}
+
+impl StateHash for Vdc {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.access.borrow().state_hash(h);
+        h.write_usize(self.records.len());
+        for (name, rec) in &self.records {
+            h.write_str(name);
+            rec.state_hash(h);
+        }
+        // by_container is a derived inverse of records; skipped.
+        match self.binder_pid {
+            Some(pid) => {
+                h.write_u8(1);
+                pid.state_hash(h);
+            }
+            None => h.write_u8(0),
         }
     }
 }

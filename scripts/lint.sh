@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Determinism/safety lint + dual-run sanitizer gate.
+#
+# 1. dronelint: token-level rules R1-R5 over the workspace, reconciled
+#    against dronelint.baseline.json (new violations or stale entries
+#    fail; the baseline only shrinks).
+# 2. The state-hash sanitizer: runs the full-system mission twice
+#    under one seed and bisects to the first divergent tick if the
+#    per-second component hashes ever differ.
+#
+# Usage: scripts/lint.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dronelint (rules R1-R5, ratcheted baseline) =="
+cargo run -q -p dronelint -- --format json
+
+echo "== dual-run determinism sanitizer =="
+cargo test -q -p androne --test determinism
