@@ -218,6 +218,24 @@ pub struct BinderDriver {
     /// recycling or teardown compaction is ever added.
     translation_cache: BTreeMap<(Pid, Pid), Vec<u32>>,
     stats: DriverStats,
+    /// Injected transaction faults (chaos testing); `None` is a
+    /// healthy driver.
+    fault: Option<BinderFaultInjection>,
+    /// Transactions attempted since boot, counted whether or not a
+    /// fault fired — the deterministic clock fault injection runs on.
+    transact_attempts: u64,
+}
+
+/// Counter-based deterministic Binder fault injection: every
+/// `period`-th transaction attempt fails. No randomness — the same
+/// call sequence fails at the same calls on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinderFaultInjection {
+    /// Fail every `period`-th transact (0 disables).
+    pub period: u32,
+    /// `true` to fail with [`BinderError::TimedOut`] instead of
+    /// [`BinderError::TransactionFailed`].
+    pub timeout: bool,
 }
 
 impl Default for BinderDriver {
@@ -238,6 +256,8 @@ impl BinderDriver {
             death_links: BTreeMap::new(),
             translation_cache: BTreeMap::new(),
             stats: DriverStats::default(),
+            fault: None,
+            transact_attempts: 0,
         }
     }
 
@@ -256,6 +276,17 @@ impl BinderDriver {
     /// Driver statistics.
     pub fn stats(&self) -> DriverStats {
         self.stats
+    }
+
+    /// Arms (or with `None` disarms) deterministic transaction fault
+    /// injection.
+    pub fn set_fault_injection(&mut self, fault: Option<BinderFaultInjection>) {
+        self.fault = fault;
+    }
+
+    /// The currently armed fault injection, if any.
+    pub fn fault_injection(&self) -> Option<BinderFaultInjection> {
+        self.fault
     }
 
     /// Opens the binder device for a process.
@@ -433,6 +464,16 @@ impl BinderDriver {
         code: u32,
         mut data: Parcel,
     ) -> Result<Parcel, BinderError> {
+        self.transact_attempts += 1;
+        if let Some(f) = self.fault {
+            if f.period > 0 && self.transact_attempts.is_multiple_of(u64::from(f.period)) {
+                return Err(if f.timeout {
+                    BinderError::TimedOut
+                } else {
+                    BinderError::TransactionFailed("injected fault".into())
+                });
+            }
+        }
         let node_id = self.resolve_handle(caller, handle)?;
         let (target_pid, handler) = {
             let node = self.node(node_id).ok_or(BinderError::DeadObject)?;
@@ -719,6 +760,15 @@ impl StateHash for BinderDriver {
         h.write_u64(self.stats.transactions);
         h.write_u64(self.stats.cross_container);
         h.write_u64(self.stats.payload_bytes);
+        match self.fault {
+            Some(f) => {
+                h.write_u8(1);
+                h.write_u32(f.period);
+                h.write_bool(f.timeout);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u64(self.transact_attempts);
     }
 }
 

@@ -32,6 +32,9 @@ pub enum BinderError {
     ServiceNotFound(String),
     /// The file descriptor is not in the caller's fd table.
     BadFd(u32),
+    /// The transaction did not complete in time (injected fault or a
+    /// stalled remote).
+    TimedOut,
 }
 
 impl fmt::Display for BinderError {
@@ -48,6 +51,7 @@ impl fmt::Display for BinderError {
             BinderError::TransactionFailed(why) => write!(f, "transaction failed: {why}"),
             BinderError::ServiceNotFound(name) => write!(f, "service '{name}' not found"),
             BinderError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+            BinderError::TimedOut => write!(f, "transaction timed out"),
         }
     }
 }

@@ -21,8 +21,8 @@ pub mod parcel;
 pub mod service_manager;
 
 pub use driver::{
-    scoped_service_name, transaction_cost, BinderDriver, BinderService, DriverStats, NodeId,
-    ServiceRef, TransactionContext, KERNEL_PID,
+    scoped_service_name, transaction_cost, BinderDriver, BinderFaultInjection, BinderService,
+    DriverStats, NodeId, ServiceRef, TransactionContext, KERNEL_PID,
 };
 pub use error::BinderError;
 pub use fd::{new_shmem, new_stream, FileDescription, FilePayload, FileRef};

@@ -6,7 +6,7 @@
 //! cellular. Each tunnel binds one container to one remote peer and
 //! models the underlying link.
 
-use androne_simkern::{ContainerId, LinkModel, SimDuration};
+use androne_simkern::{ContainerId, LinkModel, LinkState, SimDuration};
 use rand::Rng;
 
 /// Delivery outcome for a packet through a tunnel.
@@ -26,6 +26,8 @@ pub struct VpnTunnel {
     /// Remote peer label (e.g. a portal session id).
     pub peer: String,
     link: LinkModel,
+    /// Gilbert–Elliott chain state for this tunnel's direction.
+    link_state: LinkState,
     /// Fixed per-packet encryption/encapsulation cost.
     overhead: SimDuration,
     packets_sent: u64,
@@ -39,6 +41,7 @@ impl VpnTunnel {
             container,
             peer: peer.into(),
             link,
+            link_state: LinkState::default(),
             // AES + tunnel encapsulation on a Cortex-A53: ~80 us per
             // small packet, negligible next to cellular RTTs.
             overhead: SimDuration::from_micros(80),
@@ -50,7 +53,7 @@ impl VpnTunnel {
     /// Sends one packet, returning its delivery outcome.
     pub fn send(&mut self, rng: &mut impl Rng) -> Delivery {
         self.packets_sent += 1;
-        match self.link.sample(rng) {
+        match self.link.sample_with(&mut self.link_state, rng) {
             Some(delay) => Delivery::Delivered(delay + self.overhead),
             None => {
                 self.packets_lost += 1;

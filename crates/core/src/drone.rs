@@ -15,7 +15,8 @@ use androne_android::{
 };
 use androne_binder::BinderDriver;
 use androne_container::{
-    ContainerArchive, ContainerError, ContainerKind, ContainerRuntime, Layer, ResourceLimits,
+    ContainerArchive, ContainerCheckpoint, ContainerError, ContainerKind, ContainerRuntime, Layer,
+    ResourceLimits,
 };
 use androne_flight::{CommandWhitelist, Geofence, MavProxy, Sitl, Vfc};
 use androne_hal::{share, GeoPoint, HardwareBoard, SharedBoard};
@@ -104,6 +105,9 @@ pub struct Drone {
     pub hal_bridge: NativeHalBridge,
     /// Deployed virtual drones by name.
     pub vdrones: BTreeMap<String, DeployedVdrone>,
+    /// Checkpoints of crashed virtual drone containers awaiting a
+    /// supervised restart, by name.
+    pub pending_restarts: BTreeMap<String, ContainerCheckpoint>,
     /// Whether the flight controller runs on separate hardware (the
     /// paper's mitigation for kernel-crash risk, Section 4.3).
     pub flight_on_separate_hardware: bool,
@@ -248,6 +252,7 @@ impl Drone {
             device_instance,
             hal_bridge,
             vdrones: BTreeMap::new(),
+            pending_restarts: BTreeMap::new(),
             flight_on_separate_hardware: false,
             host_crashed: false,
             home,
@@ -468,6 +473,55 @@ impl Drone {
         }
     }
 
+    /// Crashes one virtual drone's container (an injected fault or a
+    /// misbehaving guest): the container is checkpointed at the
+    /// instant of the crash, then every task in it dies and the
+    /// container stops. The VDC record — allotment, waypoints,
+    /// pending events — stays registered so a supervised restart
+    /// resumes exactly where the crash interrupted.
+    pub fn crash_vdrone(&mut self, name: &str) -> Result<(), DroneError> {
+        let container = self
+            .vdrones
+            .get(name)
+            .map(|vd| vd.container)
+            .ok_or_else(|| DroneError::UnknownVirtualDrone(name.to_string()))?;
+        let checkpoint = {
+            let k = self.kernel.lock();
+            self.runtime.checkpoint(name, &k)?
+        };
+        let pids: Vec<androne_simkern::Pid> = {
+            let k = self.kernel.lock();
+            k.tasks.in_container(container).map(|t| t.pid).collect()
+        };
+        self.runtime.stop(name)?;
+        for pid in pids {
+            self.driver.kill_process(pid);
+        }
+        self.pending_restarts.insert(name.to_string(), checkpoint);
+        Ok(())
+    }
+
+    /// Supervised restart of a crashed virtual drone: removes the
+    /// dead container, restores the checkpoint (the restored
+    /// container gets a fresh id), and rebinds the VDC record and
+    /// access-table entry to it, preserving the allotment state and
+    /// flight phase. Apps keep their SDK endpoint; the Binder
+    /// identities of the crashed processes stay dead (their restored
+    /// tasks re-register on demand, as after a real restore).
+    pub fn supervised_restart_vdrone(&mut self, name: &str) -> Result<(), DroneError> {
+        let checkpoint = self
+            .pending_restarts
+            .remove(name)
+            .ok_or_else(|| DroneError::UnknownVirtualDrone(name.to_string()))?;
+        self.runtime.remove(name)?;
+        let new_id = self.runtime.restore(&checkpoint, ResourceLimits::UNLIMITED)?;
+        self.vdc.borrow_mut().rebind_container(name, new_id);
+        if let Some(vd) = self.vdrones.get_mut(name) {
+            vd.container = new_id;
+        }
+        Ok(())
+    }
+
     /// Simulates a host kernel crash (a kernel-level fault or an
     /// intentional crash from a hostile tenant, paper Section 4.3).
     /// Every container dies and Binder goes with them. If the flight
@@ -532,5 +586,35 @@ impl Drone {
             ("proxy", self.proxy.hash_value()),
             ("vdc", self.vdc.borrow().hash_value()),
         ]
+    }
+
+    /// Fine-grained state hashes for divergence localization: one
+    /// entry per kernel task, per proxy client, per VDC record, and
+    /// per SITL subcomponent, in a fixed order. Much larger than
+    /// [`Drone::component_hashes`]; the sanitizer captures these only
+    /// under verbose tracing.
+    pub fn detailed_hashes(&self) -> Vec<(String, u64)> {
+        use androne_simkern::StateHash;
+        let mut out = Vec::new();
+        {
+            let k = self.kernel.lock();
+            for t in k.tasks.live() {
+                out.push((format!("kernel/task/{}", t.pid.0), t.hash_value()));
+            }
+        }
+        for (name, hash) in self.proxy.client_hashes() {
+            out.push((format!("proxy/client/{name}"), hash));
+        }
+        for rec in self.vdc.borrow().records() {
+            out.push((format!("vdc/record/{}", rec.name), rec.hash_value()));
+        }
+        out.push((
+            "sitl/truth".into(),
+            self.board.borrow().truth.borrow().hash_value(),
+        ));
+        out.push(("sitl/physics".into(), self.sitl.physics.hash_value()));
+        out.push(("sitl/estimator".into(), self.sitl.estimator.hash_value()));
+        out.push(("sitl/fc".into(), self.sitl.fc.hash_value()));
+        out
     }
 }

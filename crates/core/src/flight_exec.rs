@@ -52,17 +52,24 @@ pub enum FlightLog {
     Landed,
 }
 
-/// Why a waypoint service ended.
+/// Why a waypoint service — or the flight as a whole — ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndReason {
-    /// The app called `waypointCompleted()`.
+    /// The app called `waypointCompleted()` (or the flight landed
+    /// with its plan done).
     Completed,
     /// The energy allotment ran out.
     EnergyExhausted,
-    /// The time allotment ran out.
+    /// The time allotment ran out (or the flight hit its safety cap).
     TimeExhausted,
     /// The flight was aborted.
     Aborted,
+    /// The ground link was lost; the failsafe ladder brought the
+    /// drone home.
+    LinkLost,
+    /// The VDC watchdog revoked the virtual drone (stalled or
+    /// repeatedly violating policy).
+    WatchdogRevoked,
 }
 
 /// Outcome of one executed flight.
@@ -78,6 +85,9 @@ pub struct FlightOutcome {
     pub completed: bool,
     /// Simulated flight duration, seconds.
     pub duration_s: f64,
+    /// Why the flight as a whole ended. Every flight ends in a
+    /// defined reason — a chaos-gate invariant.
+    pub end_reason: EndReason,
 }
 
 /// Optional mid-flight abort trigger: checked once per simulated
@@ -120,12 +130,22 @@ pub fn execute_flight_observed(
     let mut active: Option<ActiveService> = None;
     let mut breaches_seen = 0u64;
     let energy_at_start = drone.sitl.energy_consumed_j();
+    // Virtual drones the watchdog has revoked: their remaining legs
+    // are overflown without a handover.
+    let mut revoked: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    // The failsafe only terminates a flight that actually launched.
+    let mut airborne_seen = false;
+    let mut link_lost = false;
 
     struct ActiveService {
         owner: String,
         wp_index: usize,
         last_energy: f64,
         end_reason: EndReason,
+        // Watchdog bookkeeping (proxy counters at last observation).
+        last_forwarded: u64,
+        denied_at_start: u64,
+        stall_secs: u64,
     }
 
     let max_steps = (max_sim_seconds * 400.0) as u64;
@@ -135,6 +155,12 @@ pub fn execute_flight_observed(
             match event {
                 PilotEvent::Launched => log.push(FlightLog::Launched),
                 PilotEvent::ArrivedAtWaypoint { index, owner } => {
+                    if revoked.contains(&owner) {
+                        // A watchdog-revoked virtual drone gets no
+                        // handover; the pilot overflies its leg.
+                        pilot.release_waypoint();
+                        continue;
+                    }
                     // Which of the owner's waypoints is this?
                     let wp_index = drone
                         .vdc
@@ -158,11 +184,15 @@ pub fn execute_flight_observed(
                         waypoint: wp_index,
                         flight_control,
                     });
+                    let (fwd, den) = drone.proxy.client_activity(&owner).unwrap_or((0, 0));
                     active = Some(ActiveService {
                         owner,
                         wp_index,
                         last_energy: drone.sitl.energy_consumed_j(),
                         end_reason: EndReason::Completed,
+                        last_forwarded: fwd,
+                        denied_at_start: den,
+                        stall_secs: 0,
                     });
                 }
                 PilotEvent::EnergyExhausted { .. } => {
@@ -187,13 +217,28 @@ pub fn execute_flight_observed(
                             .vdc
                             .borrow_mut()
                             .on_waypoint_departed(&a.owner, a.wp_index);
+                        if a.end_reason == EndReason::WatchdogRevoked {
+                            // Departure bookkeeping reset the phase
+                            // to Transit; a revoked virtual drone
+                            // stays finished.
+                            let container =
+                                drone.vdc.borrow().record(&a.owner).map(|r| r.container);
+                            if let Some(c) = container {
+                                let access = drone.vdc.borrow().access();
+                                access
+                                    .borrow_mut()
+                                    .set_phase(c, androne_vdc::FlightPhase::Finished);
+                            }
+                        }
                         let kills = drone.enforce_revocation(&a.owner).len();
 
                         // VFC: retarget at the owner's next leg, or
-                        // land the view for good.
+                        // land the view for good. A revoked owner's
+                        // view always lands.
                         let next_leg = pilot.plan().legs[index + 1..]
                             .iter()
                             .find(|l| l.owner == a.owner)
+                            .filter(|_| a.end_reason != EndReason::WatchdogRevoked)
                             .map(|l| Geofence::new(l.position, l.max_radius_m));
                         match next_leg {
                             Some(fence) => {
@@ -227,6 +272,31 @@ pub fn execute_flight_observed(
         if step.is_multiple_of(400) {
             drone.pump_sdk_events();
             drone.pump_camera_streams();
+            if !drone.sitl.on_ground() {
+                airborne_seen = true;
+            }
+            // Per-VFC watchdog: a stalled or policy-violating virtual
+            // drone at an active waypoint loses its flight.
+            let watchdog_cfg = drone.vdc.borrow().watchdog();
+            if let (Some(cfg), Some(a)) = (watchdog_cfg, active.as_mut()) {
+                if a.end_reason == EndReason::Completed {
+                    if let Some((fwd, den)) = drone.proxy.client_activity(&a.owner) {
+                        if fwd == a.last_forwarded {
+                            a.stall_secs += 1;
+                        } else {
+                            a.stall_secs = 0;
+                            a.last_forwarded = fwd;
+                        }
+                        let violations = den.saturating_sub(a.denied_at_start);
+                        if a.stall_secs >= cfg.stall_timeout_s || violations > cfg.max_denials {
+                            a.end_reason = EndReason::WatchdogRevoked;
+                            revoked.insert(a.owner.clone());
+                            drone.vdc.borrow_mut().on_watchdog_revoked(&a.owner);
+                            pilot.release_waypoint();
+                        }
+                    }
+                }
+            }
             if let Some(a) = active.as_mut() {
                 let now_e = drone.sitl.energy_consumed_j();
                 let delta = now_e - a.last_energy;
@@ -248,7 +318,7 @@ pub fn execute_flight_observed(
                     .unwrap_or(false);
                 if done {
                     pilot.release_waypoint();
-                } else if exhausted {
+                } else if exhausted && a.end_reason == EndReason::Completed {
                     // The virtual drone's aggregate allotment ran
                     // out (the pilot's per-leg budget may be wider).
                     a.end_reason = if energy_gone {
@@ -296,15 +366,43 @@ pub fn execute_flight_observed(
             if let Some(obs) = observer.as_mut() {
                 obs(step / 400, drone);
             }
+            // Link-loss failsafe termination: the ladder escalated to
+            // return-to-launch and the drone is back on the ground —
+            // the flight is over even though the plan is not.
+            if airborne_seen
+                && drone.proxy.link_failsafe_rtl_engaged()
+                && drone.sitl.on_ground()
+            {
+                link_lost = true;
+            }
         }
 
-        if pilot.done() {
+        if link_lost || pilot.done() {
+            if link_lost {
+                if let Some(a) = active.take() {
+                    log.push(FlightLog::WaypointEnd {
+                        owner: a.owner,
+                        waypoint: a.wp_index,
+                        reason: EndReason::LinkLost,
+                        enforced_kills: 0,
+                    });
+                }
+                log.push(FlightLog::Landed);
+            }
+            let end_reason = if link_lost {
+                EndReason::LinkLost
+            } else if completed {
+                EndReason::Completed
+            } else {
+                EndReason::Aborted
+            };
             return FlightOutcome {
                 log,
                 total_energy_j: drone.sitl.energy_consumed_j() - energy_at_start,
                 vdrone_energy_j: vdrone_energy,
-                completed,
+                completed: completed && !link_lost,
                 duration_s: step as f64 / 400.0,
+                end_reason,
             };
         }
     }
@@ -315,5 +413,6 @@ pub fn execute_flight_observed(
         vdrone_energy_j: vdrone_energy,
         completed: false,
         duration_s: max_sim_seconds,
+        end_reason: EndReason::TimeExhausted,
     }
 }

@@ -26,6 +26,7 @@
 pub mod androne;
 pub mod drone;
 pub mod flight_exec;
+pub mod injector;
 pub mod sanitizer;
 
 pub use androne::Androne;
@@ -33,7 +34,11 @@ pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_
 pub use flight_exec::{
     execute_flight, execute_flight_observed, EndReason, FlightLog, FlightObserver, FlightOutcome,
 };
-pub use sanitizer::{first_divergence, trace_flight, Divergence, TickHashes, Trace};
+pub use injector::FaultInjector;
+pub use sanitizer::{
+    first_divergence, first_divergence_verbose, trace_flight, trace_flight_with, Divergence,
+    TickHashes, Trace, Verbosity, VerboseDivergence, VerboseTickHashes, VerboseTrace,
+};
 
 pub use androne_android as android;
 pub use androne_binder as binder;

@@ -99,6 +99,133 @@ pub fn trace_flight_perturbed(
     (outcome, trace)
 }
 
+/// How much state the sanitizer captures per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verbosity {
+    /// The five coarse component hashes ([`Drone::component_hashes`]).
+    #[default]
+    Component,
+    /// Additionally one hash per kernel task, proxy client, VDC
+    /// record, and SITL subcomponent ([`Drone::detailed_hashes`]) —
+    /// much larger, but localizes a divergence to a single Pid or
+    /// client outbox instead of a whole component.
+    Detailed,
+}
+
+/// The fine-grained hash vector observed at one tick under
+/// [`Verbosity::Detailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerboseTickHashes {
+    /// Seconds since launch.
+    pub tick: u64,
+    /// `(subsystem path, hash)` pairs, e.g. `kernel/task/7` or
+    /// `proxy/client/vd1`, in the fixed [`Drone::detailed_hashes`]
+    /// order.
+    pub subsystems: Vec<(String, u64)>,
+}
+
+/// A full per-second fine-grained trace of one flight.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerboseTrace {
+    /// One entry per observed tick, in tick order.
+    pub ticks: Vec<VerboseTickHashes>,
+}
+
+/// The first fine-grained divergence between two verbose traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerboseDivergence {
+    /// First tick whose subsystem vectors differ (or where one trace
+    /// ends).
+    pub tick: u64,
+    /// Subsystem paths whose hashes differ at that tick, including
+    /// paths present in only one run (a task alive in one run and
+    /// dead in the other).
+    pub diverged_subsystems: Vec<String>,
+}
+
+/// [`trace_flight`] at a chosen verbosity: the verbose trace is
+/// `Some` only under [`Verbosity::Detailed`].
+pub fn trace_flight_with(
+    drone: &mut Drone,
+    plan: FlightPlan,
+    max_sim_seconds: f64,
+    verbosity: Verbosity,
+) -> (FlightOutcome, Trace, Option<VerboseTrace>) {
+    let mut trace = Trace::default();
+    let mut verbose = match verbosity {
+        Verbosity::Component => None,
+        Verbosity::Detailed => Some(VerboseTrace::default()),
+    };
+    let outcome = {
+        let recorder: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
+            trace.ticks.push(TickHashes {
+                tick,
+                components: drone.component_hashes(),
+            });
+            if let Some(v) = verbose.as_mut() {
+                v.ticks.push(VerboseTickHashes {
+                    tick,
+                    subsystems: drone.detailed_hashes(),
+                });
+            }
+        });
+        execute_flight_observed(drone, plan, max_sim_seconds, None, Some(recorder))
+    };
+    (outcome, trace, verbose)
+}
+
+/// Compares two same-seed verbose traces, returning the first
+/// fine-grained divergence. Subsystem vectors are compared by path,
+/// so a task that exists in only one run is itself reported as
+/// diverged rather than misaligning every later entry.
+pub fn first_divergence_verbose(a: &VerboseTrace, b: &VerboseTrace) -> Option<VerboseDivergence> {
+    use std::collections::BTreeMap;
+    let common = a.ticks.len().min(b.ticks.len());
+    for i in 0..common {
+        if a.ticks[i] == b.ticks[i] {
+            continue;
+        }
+        let ma: BTreeMap<&str, u64> = a.ticks[i]
+            .subsystems
+            .iter()
+            .map(|(n, h)| (n.as_str(), *h))
+            .collect();
+        let mb: BTreeMap<&str, u64> = b.ticks[i]
+            .subsystems
+            .iter()
+            .map(|(n, h)| (n.as_str(), *h))
+            .collect();
+        let mut diverged: Vec<String> = Vec::new();
+        for (name, ha) in &ma {
+            if mb.get(name) != Some(ha) {
+                diverged.push((*name).to_string());
+            }
+        }
+        for name in mb.keys() {
+            if !ma.contains_key(name) {
+                diverged.push((*name).to_string());
+            }
+        }
+        diverged.sort();
+        return Some(VerboseDivergence {
+            tick: a.ticks[i].tick,
+            diverged_subsystems: diverged,
+        });
+    }
+    if a.ticks.len() != b.ticks.len() {
+        let longer = if a.ticks.len() > b.ticks.len() {
+            &a.ticks[common]
+        } else {
+            &b.ticks[common]
+        };
+        return Some(VerboseDivergence {
+            tick: longer.tick,
+            diverged_subsystems: longer.subsystems.iter().map(|s| s.0.clone()).collect(),
+        });
+    }
+    None
+}
+
 /// Compares two same-seed traces, returning the first divergence (or
 /// `None` when the runs were identical).
 ///
@@ -197,6 +324,52 @@ mod tests {
                 .map(|(i, r)| tick(i as u64, r))
                 .collect(),
         }
+    }
+
+    fn vtick(t: u64, subsystems: &[(&str, u64)]) -> VerboseTickHashes {
+        VerboseTickHashes {
+            tick: t,
+            subsystems: subsystems
+                .iter()
+                .map(|(n, h)| (n.to_string(), *h))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn verbose_divergence_localizes_a_client_outbox() {
+        let a = VerboseTrace {
+            ticks: vec![
+                vtick(0, &[("kernel/task/1", 10), ("proxy/client/vd1", 20)]),
+                vtick(1, &[("kernel/task/1", 11), ("proxy/client/vd1", 21)]),
+            ],
+        };
+        let mut b = a.clone();
+        b.ticks[1].subsystems[1].1 ^= 0xBEEF; // perturb vd1's outbox
+        let d = first_divergence_verbose(&a, &b).expect("diverges");
+        assert_eq!(d.tick, 1);
+        assert_eq!(d.diverged_subsystems, vec!["proxy/client/vd1".to_string()]);
+    }
+
+    #[test]
+    fn verbose_divergence_reports_one_sided_subsystems() {
+        let a = VerboseTrace {
+            ticks: vec![vtick(0, &[("kernel/task/1", 10), ("kernel/task/2", 12)])],
+        };
+        let b = VerboseTrace {
+            ticks: vec![vtick(0, &[("kernel/task/1", 10)])],
+        };
+        let d = first_divergence_verbose(&a, &b).expect("diverges");
+        assert_eq!(d.tick, 0);
+        assert_eq!(d.diverged_subsystems, vec!["kernel/task/2".to_string()]);
+    }
+
+    #[test]
+    fn identical_verbose_traces_have_no_divergence() {
+        let a = VerboseTrace {
+            ticks: vec![vtick(0, &[("sitl/truth", 1)])],
+        };
+        assert_eq!(first_divergence_verbose(&a, &a.clone()), None);
     }
 
     #[test]

@@ -14,7 +14,14 @@ pub const SIM_CRATES: &[&str] = &["simkern", "binder", "flight", "vdc", "core", 
 
 /// Files in the R3 no-panic scope: hot paths where a panic aborts the
 /// whole simulated fleet instead of surfacing a typed error.
-const R3_FILES: &[&str] = &["crates/binder/src/driver.rs", "crates/mavlink/src/codec.rs"];
+const R3_FILES: &[&str] = &[
+    "crates/binder/src/driver.rs",
+    "crates/mavlink/src/codec.rs",
+    "crates/sdk/src/retry.rs",
+    "crates/core/src/injector.rs",
+    "crates/simkern/src/faults.rs",
+    "crates/hal/src/faults.rs",
+];
 const R3_PREFIXES: &[&str] = &["crates/flight/src/"];
 
 /// Files in the R4 wire-path scope: parsers of attacker-controlled

@@ -62,6 +62,14 @@ impl BatteryPack {
     pub fn state_of_charge(&self) -> f64 {
         (1.0 - self.consumed_j / self.capacity_j.max(1e-9)).clamp(0.0, 1.0)
     }
+
+    /// Degrades the cells: usable capacity shrinks to `health`
+    /// (clamped to `(0.05, 1.0]`) of its current value. Consumed
+    /// energy is untouched, so degradation mid-flight only removes
+    /// headroom — it never refunds joules already spent.
+    pub fn degrade(&mut self, health: f64) {
+        self.capacity_j *= health.clamp(0.05, 1.0);
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +97,18 @@ mod tests {
         b.force_drain(950.0);
         assert_eq!(b.plannable_j(), 0.0);
         assert!((b.state_of_charge() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_shrinks_plannable_headroom() {
+        let mut b = BatteryPack::new(1000.0, 0.2);
+        b.force_drain(100.0);
+        b.degrade(0.8);
+        assert!((b.capacity_j - 800.0).abs() < 1e-9);
+        assert!((b.plannable_j() - 540.0).abs() < 1e-9);
+        assert_eq!(b.consumed_j(), 100.0, "consumption is not refunded");
+        b.degrade(-3.0);
+        assert!(b.capacity_j > 0.0, "health is clamped to a floor");
     }
 
     #[test]

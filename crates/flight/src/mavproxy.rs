@@ -21,8 +21,10 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use androne_hal::GeoPoint;
-use androne_mavlink::{deg_to_e7, FlightMode, Message};
-use androne_simkern::{StateHash, StateHasher};
+use androne_mavlink::{deg_to_e7, FlightMode, MavCmd, Message};
+use androne_simkern::{LinkModel, LinkState, StateHash, StateHasher};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::sitl::Sitl;
 use crate::vfc::{Vfc, VfcDecision, VfcState};
@@ -30,6 +32,57 @@ use crate::vfc::{Vfc, VfcDecision, VfcState};
 /// Distance at which a VFC switches from Pending to the synthetic
 /// takeoff animation, meters.
 pub const APPROACH_DISTANCE_M: f64 = 60.0;
+
+/// Thresholds of the link-loss failsafe ladder: hold position after
+/// `loiter_after_s` without an uplink, give up and return to launch
+/// after `rtl_after_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFailsafeConfig {
+    /// Seconds of continuous link loss before switching to Loiter.
+    pub loiter_after_s: f64,
+    /// Seconds of continuous link loss before commanding RTL.
+    pub rtl_after_s: f64,
+}
+
+impl Default for LinkFailsafeConfig {
+    fn default() -> Self {
+        LinkFailsafeConfig {
+            loiter_after_s: 2.0,
+            rtl_after_s: 10.0,
+        }
+    }
+}
+
+/// Where the proxy stands on the link-loss ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFailsafePhase {
+    /// Link healthy (or loss below the loiter threshold).
+    Nominal,
+    /// Holding position, waiting for the link to return.
+    Loiter,
+    /// Gave up: returning to launch. Latched — a link that returns
+    /// mid-RTL does not cancel the recall.
+    Rtl,
+}
+
+impl LinkFailsafePhase {
+    fn tag(self) -> u8 {
+        match self {
+            LinkFailsafePhase::Nominal => 0,
+            LinkFailsafePhase::Loiter => 1,
+            LinkFailsafePhase::Rtl => 2,
+        }
+    }
+}
+
+/// A degraded command uplink: ground-side client commands traverse a
+/// lossy link before reaching the proxy. Owns its own fault-local RNG
+/// so a healthy flight draws nothing from it.
+struct UplinkLoss {
+    model: LinkModel,
+    state: LinkState,
+    rng: SmallRng,
+}
 
 #[derive(Debug, Clone, PartialEq)]
 enum RecoveryPhase {
@@ -51,9 +104,22 @@ struct ClientConn {
     /// fanned out to N identity-view clients is stored once, not N
     /// times.
     outbox: Vec<Rc<Message>>,
+    /// Commands from this client forwarded to the controller.
+    forwarded: u64,
+    /// Commands from this client denied by its VFC.
+    denied: u64,
 }
 
 impl ClientConn {
+    fn new(vfc: Option<Vfc>) -> Self {
+        ClientConn {
+            vfc,
+            outbox: Vec::new(),
+            forwarded: 0,
+            denied: 0,
+        }
+    }
+
     fn queue(&mut self, msg: Message) {
         self.outbox.push(Rc::new(msg));
     }
@@ -69,6 +135,16 @@ pub struct MavProxy {
     pub commands_forwarded: u64,
     /// Geofence breaches handled.
     pub breaches_handled: u64,
+    /// Ground-side commands lost to link partition or burst loss.
+    pub commands_dropped: u64,
+    /// Whether the ground↔drone link is fully partitioned.
+    link_partitioned: bool,
+    /// Consecutive steps spent partitioned.
+    link_down_steps: u64,
+    link_cfg: LinkFailsafeConfig,
+    link_phase: LinkFailsafePhase,
+    /// Optional degraded uplink for ground-side client commands.
+    uplink: Option<UplinkLoss>,
 }
 
 impl Default for MavProxy {
@@ -86,29 +162,24 @@ impl MavProxy {
             commands_denied: 0,
             commands_forwarded: 0,
             breaches_handled: 0,
+            commands_dropped: 0,
+            link_partitioned: false,
+            link_down_steps: 0,
+            link_cfg: LinkFailsafeConfig::default(),
+            link_phase: LinkFailsafePhase::Nominal,
+            uplink: None,
         }
     }
 
     /// Adds an unrestricted connection (flight planner / provider).
     pub fn add_unrestricted_client(&mut self, name: impl Into<String>) {
-        self.clients.insert(
-            name.into(),
-            ClientConn {
-                vfc: None,
-                outbox: Vec::new(),
-            },
-        );
+        self.clients.insert(name.into(), ClientConn::new(None));
     }
 
     /// Adds a VFC connection for a virtual drone.
     pub fn add_vfc_client(&mut self, vfc: Vfc) {
-        self.clients.insert(
-            vfc.client.clone(),
-            ClientConn {
-                vfc: Some(vfc),
-                outbox: Vec::new(),
-            },
-        );
+        self.clients
+            .insert(vfc.client.clone(), ClientConn::new(Some(vfc)));
     }
 
     /// Removes a client connection.
@@ -148,26 +219,44 @@ impl MavProxy {
 
     /// Sends one message from a client toward the flight controller.
     /// Replies (acks, denials) are queued on the client's outbox.
+    ///
+    /// Unrestricted clients sit on the ground side of the cellular
+    /// link: a partitioned or degraded uplink can eat their commands.
+    /// VFC clients run in containers on the drone itself, so their
+    /// commands never traverse the link.
     pub fn client_send(&mut self, name: &str, msg: Message, sitl: &mut Sitl) {
         let Some(conn) = self.clients.get_mut(name) else {
             return;
         };
         match conn.vfc.as_mut() {
             None => {
+                if self.link_partitioned {
+                    self.commands_dropped += 1;
+                    return;
+                }
+                if let Some(up) = self.uplink.as_mut() {
+                    if up.model.sample_with(&mut up.state, &mut up.rng).is_none() {
+                        self.commands_dropped += 1;
+                        return;
+                    }
+                }
                 // Unrestricted: straight through.
                 let replies = sitl.handle_message(&msg);
                 conn.outbox.extend(replies.into_iter().map(Rc::new));
                 self.commands_forwarded += 1;
+                conn.forwarded += 1;
             }
             Some(vfc) => match vfc.on_client_message(&msg) {
                 VfcDecision::Forward(m) => {
                     let replies = sitl.handle_message(&m);
                     conn.outbox.extend(replies.into_iter().map(Rc::new));
                     self.commands_forwarded += 1;
+                    conn.forwarded += 1;
                 }
                 VfcDecision::Deny(reply) => {
                     conn.queue(reply);
                     self.commands_denied += 1;
+                    conn.denied += 1;
                 }
             },
         }
@@ -215,8 +304,98 @@ impl MavProxy {
         // Geofence monitoring for the active VFC.
         self.check_geofence(&pos, sitl);
         self.drive_recovery(&pos, sitl);
+        self.drive_link_failsafe(sitl);
 
         self.distribute_telemetry(&telemetry, &pos);
+    }
+
+    /// Advances the link-loss failsafe ladder one step: Nominal →
+    /// Loiter after `loiter_after_s` of partition, Loiter → RTL after
+    /// `rtl_after_s`. A link restored during Loiter hands control
+    /// back (Guided); once RTL is commanded the recall is latched.
+    /// Breach recovery outranks the ladder — escalation pauses while
+    /// a recovery is steering the drone, though the clock keeps
+    /// counting.
+    fn drive_link_failsafe(&mut self, sitl: &mut Sitl) {
+        if self.link_partitioned {
+            self.link_down_steps += 1;
+            if self.recovery.is_some() {
+                return;
+            }
+            let loiter_steps = (self.link_cfg.loiter_after_s * 400.0) as u64;
+            let rtl_steps = (self.link_cfg.rtl_after_s * 400.0) as u64;
+            match self.link_phase {
+                LinkFailsafePhase::Nominal if self.link_down_steps >= loiter_steps => {
+                    sitl.handle_message(&Message::SetMode {
+                        mode: FlightMode::Loiter,
+                    });
+                    self.link_phase = LinkFailsafePhase::Loiter;
+                }
+                LinkFailsafePhase::Loiter if self.link_down_steps >= rtl_steps => {
+                    sitl.handle_message(&Message::CommandLong {
+                        command: MavCmd::NavReturnToLaunch,
+                        params: [0.0; 7],
+                    });
+                    self.link_phase = LinkFailsafePhase::Rtl;
+                }
+                _ => {}
+            }
+        } else {
+            self.link_down_steps = 0;
+            if self.link_phase == LinkFailsafePhase::Loiter && self.recovery.is_none() {
+                sitl.handle_message(&Message::SetMode {
+                    mode: FlightMode::Guided,
+                });
+                self.link_phase = LinkFailsafePhase::Nominal;
+            }
+        }
+    }
+
+    /// Declares the ground link partitioned (or restored).
+    pub fn set_link_partitioned(&mut self, down: bool) {
+        self.link_partitioned = down;
+    }
+
+    /// Whether the ground link is currently partitioned.
+    pub fn link_partitioned(&self) -> bool {
+        self.link_partitioned
+    }
+
+    /// Replaces the link-loss failsafe thresholds.
+    pub fn set_link_failsafe_config(&mut self, cfg: LinkFailsafeConfig) {
+        self.link_cfg = cfg;
+    }
+
+    /// Current position on the link-loss ladder.
+    pub fn link_failsafe_phase(&self) -> LinkFailsafePhase {
+        self.link_phase
+    }
+
+    /// Whether the ladder has latched into RTL.
+    pub fn link_failsafe_rtl_engaged(&self) -> bool {
+        self.link_phase == LinkFailsafePhase::Rtl
+    }
+
+    /// Degrades the command uplink: ground-side client commands now
+    /// traverse `model` (burst loss included) with a fault-local RNG
+    /// seeded by `seed`.
+    pub fn set_uplink_loss(&mut self, model: LinkModel, seed: u64) {
+        self.uplink = Some(UplinkLoss {
+            model,
+            state: LinkState::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        });
+    }
+
+    /// Restores a healthy command uplink.
+    pub fn clear_uplink_loss(&mut self) {
+        self.uplink = None;
+    }
+
+    /// Commands this client has had forwarded and denied, if it
+    /// exists. The per-VFC watchdog reads these to spot stalls.
+    pub fn client_activity(&self, name: &str) -> Option<(u64, u64)> {
+        self.clients.get(name).map(|c| (c.forwarded, c.denied))
     }
 
     /// Telemetry fan-out, transformed per client view. The identity
@@ -322,6 +501,39 @@ impl MavProxy {
     pub fn recovering(&self) -> bool {
         self.recovery.is_some()
     }
+
+    /// Per-client state digests (VFC + outbox + counters), for the
+    /// sanitizer's verbose dump: a divergence in one client's outbox
+    /// names that client instead of the whole proxy.
+    pub fn client_hashes(&self) -> Vec<(String, u64)> {
+        self.clients
+            .iter()
+            .map(|(name, conn)| {
+                let mut h = StateHasher::new();
+                hash_conn(conn, &mut h);
+                (name.clone(), h.finish())
+            })
+            .collect()
+    }
+}
+
+fn hash_conn(conn: &ClientConn, h: &mut StateHasher) {
+    match &conn.vfc {
+        Some(vfc) => {
+            h.write_u8(1);
+            vfc.state_hash(h);
+        }
+        None => h.write_u8(0),
+    }
+    // Queued messages hash by their wire form: msg id plus encoded
+    // payload is a stable, total serialization.
+    h.write_usize(conn.outbox.len());
+    for msg in &conn.outbox {
+        h.write_u8(msg.msg_id());
+        h.write_bytes(&msg.encode_payload());
+    }
+    h.write_u64(conn.forwarded);
+    h.write_u64(conn.denied);
 }
 
 impl StateHash for MavProxy {
@@ -329,20 +541,7 @@ impl StateHash for MavProxy {
         h.write_usize(self.clients.len());
         for (name, conn) in &self.clients {
             h.write_str(name);
-            match &conn.vfc {
-                Some(vfc) => {
-                    h.write_u8(1);
-                    vfc.state_hash(h);
-                }
-                None => h.write_u8(0),
-            }
-            // Queued messages hash by their wire form: msg id plus
-            // encoded payload is a stable, total serialization.
-            h.write_usize(conn.outbox.len());
-            for msg in &conn.outbox {
-                h.write_u8(msg.msg_id());
-                h.write_bytes(&msg.encode_payload());
-            }
+            hash_conn(conn, h);
         }
         match &self.recovery {
             Some(r) => {
@@ -364,6 +563,20 @@ impl StateHash for MavProxy {
         h.write_u64(self.commands_denied);
         h.write_u64(self.commands_forwarded);
         h.write_u64(self.breaches_handled);
+        h.write_u64(self.commands_dropped);
+        h.write_bool(self.link_partitioned);
+        h.write_u64(self.link_down_steps);
+        h.write_u8(self.link_phase.tag());
+        // The uplink's fault-local RNG is not hashed (the vendored
+        // SmallRng exposes no state); its draws surface through
+        // commands_dropped and the outboxes within one command.
+        match &self.uplink {
+            Some(up) => {
+                h.write_u8(1);
+                up.state.state_hash(h);
+            }
+            None => h.write_u8(0),
+        }
     }
 }
 
@@ -530,6 +743,131 @@ mod tests {
         );
         assert!(fence.contains(&sitl.position()), "back inside the fence");
         assert!(!proxy.recovering());
+    }
+
+    /// Shoves the simulated vehicle sideways (a position-jump fault:
+    /// gust slam or collision), visible to the proxy next step.
+    fn jump_position(sitl: &mut Sitl, north: f64, east: f64) {
+        sitl.physics.displace_m(north, east);
+    }
+
+    #[test]
+    fn recovery_reengages_after_position_jumps() {
+        let mut sitl = flying_sitl(6);
+        let mut proxy = MavProxy::new();
+        let waypoint = sitl.position();
+        let fence = Geofence::new(waypoint, 25.0);
+        proxy.add_vfc_client(Vfc::new("vd1", CommandWhitelist::full(), fence, false));
+        proxy.activate_vfc("vd1");
+
+        // First breach: jump the vehicle outside the fence.
+        jump_position(&mut sitl, 80.0, 0.0);
+        run(&mut proxy, &mut sitl, 0.01);
+        assert_eq!(proxy.breaches_handled, 1);
+        assert!(proxy.recovering());
+
+        // Mid-recovery, a second jump relocates the vehicle again —
+        // recovery must keep guiding from the new position, not
+        // wedge on the stale one.
+        run(&mut proxy, &mut sitl, 2.0);
+        jump_position(&mut sitl, 0.0, 120.0);
+        for _ in 0..90 {
+            run(&mut proxy, &mut sitl, 1.0);
+            if !proxy.recovering() {
+                break;
+            }
+        }
+        assert!(!proxy.recovering(), "first recovery completed");
+        assert!(fence.contains(&sitl.position()), "back inside the fence");
+
+        // A later jump re-engages a fresh recovery rather than being
+        // ignored.
+        jump_position(&mut sitl, -90.0, 0.0);
+        run(&mut proxy, &mut sitl, 0.01);
+        assert_eq!(proxy.breaches_handled, 2, "breach handling re-engaged");
+        for _ in 0..90 {
+            run(&mut proxy, &mut sitl, 1.0);
+            if !proxy.recovering() {
+                break;
+            }
+        }
+        assert!(!proxy.recovering());
+        assert!(fence.contains(&sitl.position()));
+    }
+
+    #[test]
+    fn link_loss_mid_recovery_waits_then_escalates_and_restores() {
+        let mut sitl = flying_sitl(7);
+        let mut proxy = MavProxy::new();
+        let waypoint = sitl.position();
+        let fence = Geofence::new(waypoint, 25.0);
+        proxy.add_vfc_client(Vfc::new("vd1", CommandWhitelist::full(), fence, false));
+        proxy.activate_vfc("vd1");
+        // Recovery takes longer than the default RTL threshold; widen
+        // it so the test can observe the Loiter rung on its own.
+        proxy.set_link_failsafe_config(LinkFailsafeConfig {
+            loiter_after_s: 2.0,
+            rtl_after_s: 60.0,
+        });
+
+        // Breach, then lose the link while recovery is steering.
+        jump_position(&mut sitl, 80.0, 0.0);
+        run(&mut proxy, &mut sitl, 0.01);
+        assert!(proxy.recovering());
+        proxy.set_link_partitioned(true);
+
+        // The ladder yields to the in-progress recovery: no Loiter
+        // takeover while the breach is being flown out.
+        for _ in 0..90 {
+            run(&mut proxy, &mut sitl, 1.0);
+            if !proxy.recovering() {
+                break;
+            }
+            assert_eq!(
+                proxy.link_failsafe_phase(),
+                LinkFailsafePhase::Nominal,
+                "ladder paused during breach recovery"
+            );
+        }
+        assert!(!proxy.recovering(), "recovery completed despite link loss");
+        assert!(fence.contains(&sitl.position()));
+
+        // With recovery done and the link still dark, escalation
+        // resumes (the down-clock kept counting, so Loiter is due).
+        run(&mut proxy, &mut sitl, 1.0);
+        assert_eq!(proxy.link_failsafe_phase(), LinkFailsafePhase::Loiter);
+
+        // Link restored before RTL: control returns to Guided.
+        proxy.set_link_partitioned(false);
+        run(&mut proxy, &mut sitl, 0.01);
+        assert_eq!(proxy.link_failsafe_phase(), LinkFailsafePhase::Nominal);
+        assert_eq!(sitl.fc.mode(), FlightMode::Guided);
+    }
+
+    #[test]
+    fn link_loss_ladder_escalates_to_rtl_and_latches() {
+        let mut sitl = flying_sitl(8);
+        let mut proxy = MavProxy::new();
+        proxy.add_unrestricted_client("planner");
+        proxy.set_link_partitioned(true);
+        run(&mut proxy, &mut sitl, 2.5);
+        assert_eq!(proxy.link_failsafe_phase(), LinkFailsafePhase::Loiter);
+        run(&mut proxy, &mut sitl, 8.0);
+        assert_eq!(proxy.link_failsafe_phase(), LinkFailsafePhase::Rtl);
+        // Commands from ground-side clients were dropped throughout.
+        proxy.client_send(
+            "planner",
+            Message::SetMode {
+                mode: FlightMode::Guided,
+            },
+            &mut sitl,
+        );
+        assert_eq!(proxy.commands_dropped, 1);
+        // A returning link does not cancel the recall.
+        proxy.set_link_partitioned(false);
+        run(&mut proxy, &mut sitl, 1.0);
+        assert_eq!(proxy.link_failsafe_phase(), LinkFailsafePhase::Rtl);
+        assert!(proxy.link_failsafe_rtl_engaged());
     }
 
     #[test]

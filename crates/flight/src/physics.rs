@@ -182,8 +182,12 @@ impl QuadPhysics {
                     / ((2.0 * AIR_DENSITY * p.prop_disk_area).sqrt() * p.powertrain_efficiency);
             }
         }
-        truth.energy_consumed_j += power * dt;
-        truth.battery_current = power / truth.battery_voltage.max(1.0);
+        // Degraded cells deliver the same mechanical power at a
+        // higher electrical cost (health 1.0 divides out exactly, so
+        // a healthy pack is bit-identical to the pre-fault model).
+        let electrical = power / truth.battery_health.clamp(0.05, 1.0);
+        truth.energy_consumed_j += electrical * dt;
+        truth.battery_current = electrical / truth.battery_voltage.max(1.0);
         // Simple voltage sag with depth of discharge.
         let dod = (truth.energy_consumed_j / p.battery_capacity_j).min(1.0);
         truth.battery_voltage = 12.6 - 2.1 * dod - 0.002 * truth.battery_current;
@@ -201,6 +205,15 @@ impl QuadPhysics {
     /// Current NED position relative to home.
     pub fn ned(&self) -> Vec3 {
         self.ned
+    }
+
+    /// Displaces the vehicle horizontally by `(north, east)` meters —
+    /// a fault-injection hook modeling a position jump (gust slam,
+    /// collision shove, or a test teleport). Velocity and attitude
+    /// carry over; truth reflects the jump on the next step.
+    pub fn displace_m(&mut self, north: f64, east: f64) {
+        self.ned.x += north;
+        self.ned.y += east;
     }
 }
 

@@ -6,7 +6,10 @@
 //! deterministic: the physics and the controller fast loop both run
 //! at 400 Hz, GPS at 5 Hz, barometer at 10 Hz.
 
-use androne_hal::{share, GeoPoint, HardwareBoard, SharedBoard, Vec3};
+use androne_hal::{
+    share, Barometer, GeoPoint, GpsFix, HardwareBoard, ImuSample, SensorFaultMode, SharedBoard,
+    Vec3,
+};
 use androne_mavlink::{FlightMode, Message};
 use androne_simkern::{SimDuration, StateHash, StateHasher};
 
@@ -28,6 +31,13 @@ pub struct Sitl {
     /// The flight controller.
     pub fc: FlightController,
     step_count: u64,
+    /// Last good IMU sample, replayed under a stuck-sensor fault.
+    last_imu: Option<ImuSample>,
+    /// Last good GPS fix, replayed under a stuck-sensor fault.
+    last_gps: Option<GpsFix>,
+    /// Last good barometer reading, replayed under a stuck-sensor
+    /// fault.
+    last_baro: Option<f64>,
     /// Peak attitude estimate divergence seen, radians (the paper's
     /// AED check).
     pub max_attitude_divergence: f64,
@@ -53,6 +63,9 @@ impl Sitl {
             estimator: Estimator::new(home),
             fc: FlightController::new(params, home),
             step_count: 0,
+            last_imu: None,
+            last_gps: None,
+            last_baro: None,
             max_attitude_divergence: 0.0,
             recorder: FlightRecorder::new(),
         }
@@ -72,29 +85,80 @@ impl Sitl {
 
         let truth = *self.board.borrow().truth.borrow();
 
-        // Sensors and estimation.
+        // Sensors and estimation, gated by the injected fault modes.
+        // A dropped-out sensor skips its update AND its noise draws;
+        // a stuck sensor replays the last good sample without
+        // drawing; a biased sensor samples normally and offsets. GPS
+        // dropout therefore leaves the estimator dead-reckoning on
+        // the IMU until the fix returns.
         {
             let mut board = self.board.borrow_mut();
-            let imu = {
-                let imu = board.imu.clone();
-                imu.sample(&truth, &mut board.rng)
-            };
-            self.estimator.imu_update(&imu, &truth.attitude, dt);
+            let faults = board.faults;
+            match faults.imu {
+                SensorFaultMode::Dropout => {}
+                SensorFaultMode::Stuck => {
+                    if let Some(imu) = self.last_imu {
+                        self.estimator.imu_update(&imu, &truth.attitude, dt);
+                    }
+                }
+                mode => {
+                    let mut imu = {
+                        let imu = board.imu.clone();
+                        imu.sample(&truth, &mut board.rng)
+                    };
+                    self.last_imu = Some(imu);
+                    if let SensorFaultMode::Bias(b) = mode {
+                        imu.accel += Vec3::new(b, b, b);
+                    }
+                    self.estimator.imu_update(&imu, &truth.attitude, dt);
+                }
+            }
             if self.step_count.is_multiple_of(80) {
                 // 5 Hz GPS.
-                let fix = {
-                    let gps = board.gps.clone();
-                    gps.fix(&truth, &mut board.rng)
-                };
-                self.estimator.gps_update(&fix, truth.velocity);
+                match faults.gps {
+                    SensorFaultMode::Dropout => {}
+                    SensorFaultMode::Stuck => {
+                        if let Some(fix) = self.last_gps {
+                            self.estimator.gps_update(&fix, truth.velocity);
+                        }
+                    }
+                    mode => {
+                        let mut fix = {
+                            let gps = board.gps.clone();
+                            gps.fix(&truth, &mut board.rng)
+                        };
+                        self.last_gps = Some(fix);
+                        if let SensorFaultMode::Bias(b) = mode {
+                            fix.position = fix.position.offset_m(b, 0.0, 0.0);
+                        }
+                        self.estimator.gps_update(&fix, truth.velocity);
+                    }
+                }
             }
             if self.step_count.is_multiple_of(40) {
                 // 10 Hz barometer.
-                let p = {
-                    let baro = board.barometer.clone();
-                    baro.pressure_pa(&truth, &mut board.rng)
-                };
-                self.estimator.baro_update(p);
+                match faults.baro {
+                    SensorFaultMode::Dropout => {}
+                    SensorFaultMode::Stuck => {
+                        if let Some(p) = self.last_baro {
+                            self.estimator.baro_update(p);
+                        }
+                    }
+                    mode => {
+                        let p = {
+                            let baro = board.barometer.clone();
+                            baro.pressure_pa(&truth, &mut board.rng)
+                        };
+                        self.last_baro = Some(p);
+                        let p = if let SensorFaultMode::Bias(b) = mode {
+                            let alt = Barometer::altitude_from_pressure(p) + b;
+                            101_325.0 * (1.0 - 2.25577e-5 * alt).powf(5.25588)
+                        } else {
+                            p
+                        };
+                        self.estimator.baro_update(p);
+                    }
+                }
             }
         }
         let div = self.estimator.attitude_divergence(&truth.attitude);
@@ -221,6 +285,28 @@ impl StateHash for Sitl {
         h.write_u64(self.step_count);
         h.write_f64(self.max_attitude_divergence);
         self.recorder.state_hash(h);
+        self.board.borrow().faults.state_hash(h);
+        match self.last_imu {
+            Some(s) => {
+                h.write_bool(true);
+                s.state_hash(h);
+            }
+            None => h.write_bool(false),
+        }
+        match self.last_gps {
+            Some(f) => {
+                h.write_bool(true);
+                f.state_hash(h);
+            }
+            None => h.write_bool(false),
+        }
+        match self.last_baro {
+            Some(p) => {
+                h.write_bool(true);
+                h.write_f64(p);
+            }
+            None => h.write_bool(false),
+        }
     }
 }
 

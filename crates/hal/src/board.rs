@@ -5,6 +5,7 @@ use rand::SeedableRng;
 
 use crate::camera::Camera;
 use crate::device::{AlreadyClaimed, ClaimTable, DeviceKind};
+use crate::faults::SensorFaults;
 use crate::geo::GeoPoint;
 use crate::misc::{BatteryMonitor, Gimbal, Microphone, Motors, Speaker};
 use crate::sensors::{Barometer, Gps, Imu, Magnetometer};
@@ -36,6 +37,8 @@ pub struct HardwareBoard {
     pub gimbal: Gimbal,
     /// Exclusive device claims.
     pub claims: ClaimTable,
+    /// Injected sensor fault modes (all nominal by default).
+    pub faults: SensorFaults,
     /// Sensor-noise RNG (deterministic per seed).
     pub rng: SmallRng,
 }
@@ -57,6 +60,7 @@ impl HardwareBoard {
             battery: BatteryMonitor,
             gimbal: Gimbal::default(),
             claims: ClaimTable::new(),
+            faults: SensorFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }

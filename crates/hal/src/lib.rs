@@ -14,6 +14,7 @@
 pub mod board;
 pub mod camera;
 pub mod device;
+pub mod faults;
 pub mod geo;
 pub mod misc;
 pub mod sensors;
@@ -23,6 +24,7 @@ pub mod truth;
 pub use board::{share, HardwareBoard, SharedBoard};
 pub use camera::{Camera, Frame};
 pub use device::{AlreadyClaimed, ClaimTable, DeviceKind};
+pub use faults::{SensorFaultMode, SensorFaults};
 pub use geo::{Attitude, GeoPoint, Vec3, EARTH_RADIUS_M};
 pub use misc::{BatteryMonitor, Gimbal, Microphone, Motors, Speaker, VirtualFramebuffer};
 pub use sensors::{Barometer, Gps, GpsFix, Imu, ImuSample, Magnetometer, G};

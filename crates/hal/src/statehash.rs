@@ -8,6 +8,7 @@
 use androne_simkern::{StateHash, StateHasher};
 
 use crate::geo::{Attitude, GeoPoint, Vec3};
+use crate::sensors::{GpsFix, ImuSample};
 use crate::truth::VehicleTruth;
 
 impl StateHash for Vec3 {
@@ -48,6 +49,24 @@ impl StateHash for VehicleTruth {
         h.write_f64(self.battery_voltage);
         h.write_f64(self.battery_current);
         h.write_f64(self.energy_consumed_j);
+        h.write_f64(self.battery_health);
+    }
+}
+
+impl StateHash for ImuSample {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.accel.state_hash(h);
+        self.gyro.state_hash(h);
+    }
+}
+
+impl StateHash for GpsFix {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.position.state_hash(h);
+        h.write_f64(self.ground_speed);
+        h.write_f64(self.course);
+        h.write_u8(self.satellites);
+        h.write_bool(self.valid);
     }
 }
 

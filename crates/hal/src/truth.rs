@@ -36,6 +36,9 @@ pub struct VehicleTruth {
     pub battery_current: f64,
     /// Cumulative energy drawn from the battery, joules.
     pub energy_consumed_j: f64,
+    /// Battery cell health in `(0.0, 1.0]`: degraded cells deliver
+    /// each joule of mechanical work at `1/health` electrical cost.
+    pub battery_health: f64,
 }
 
 impl VehicleTruth {
@@ -52,6 +55,7 @@ impl VehicleTruth {
             battery_voltage: 12.6,
             battery_current: 0.0,
             energy_consumed_j: 0.0,
+            battery_health: 1.0,
         }
     }
 }

@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use androne_simkern::{LinkModel, SimTime};
+use androne_simkern::{LinkModel, LinkState, SimTime};
 use rand::Rng;
 
 use crate::codec::{Frame, Parser};
@@ -32,6 +32,9 @@ pub struct MavEndpoint {
     /// This endpoint's component id.
     pub compid: u8,
     link: LinkModel,
+    /// Gilbert–Elliott chain state for this direction (idle when the
+    /// model has no burst parameters).
+    link_state: LinkState,
     peer_inbox: Inbox,
     own_inbox: Inbox,
     parser: Parser,
@@ -49,6 +52,7 @@ pub fn channel(link: LinkModel, sysid_a: u8, sysid_b: u8) -> (MavEndpoint, MavEn
         sysid: sysid_a,
         compid: 1,
         link,
+        link_state: LinkState::default(),
         peer_inbox: Rc::clone(&inbox_b),
         own_inbox: Rc::clone(&inbox_a),
         parser: Parser::new(),
@@ -60,6 +64,7 @@ pub fn channel(link: LinkModel, sysid_a: u8, sysid_b: u8) -> (MavEndpoint, MavEn
         sysid: sysid_b,
         compid: 1,
         link,
+        link_state: LinkState::default(),
         peer_inbox: inbox_a,
         own_inbox: inbox_b,
         parser: Parser::new(),
@@ -82,7 +87,7 @@ impl MavEndpoint {
         };
         self.seq = self.seq.wrapping_add(1);
         self.sent += 1;
-        match self.link.sample(rng) {
+        match self.link.sample_with(&mut self.link_state, rng) {
             Some(delay) => {
                 let at = now + delay;
                 let mut inbox = self.peer_inbox.borrow_mut();

@@ -69,6 +69,10 @@ pub struct Autopilot {
     release_requested: bool,
     cruise_alt: f64,
     cruise_speed: f64,
+    /// Ground-side command drops already compensated for by a resend.
+    drops_seen: u64,
+    /// Steps until the next resend attempt is allowed.
+    resend_cooldown: u64,
 }
 
 impl Autopilot {
@@ -82,6 +86,8 @@ impl Autopilot {
             release_requested: false,
             cruise_alt: 15.0,
             cruise_speed: 5.0,
+            drops_seen: 0,
+            resend_cooldown: 0,
         }
     }
 
@@ -127,17 +133,39 @@ impl Autopilot {
         self.state = PilotState::Returning;
     }
 
+    fn goto_msg(&self, target: GeoPoint) -> Message {
+        Message::SetPositionTargetGlobalInt {
+            lat: deg_to_e7(target.latitude),
+            lon: deg_to_e7(target.longitude),
+            alt: target.altitude as f32,
+            speed: self.cruise_speed as f32,
+        }
+    }
+
     fn goto(&self, proxy: &mut MavProxy, sitl: &mut Sitl, target: GeoPoint) {
-        proxy.client_send(
-            PILOT_CLIENT,
-            Message::SetPositionTargetGlobalInt {
-                lat: deg_to_e7(target.latitude),
-                lon: deg_to_e7(target.longitude),
-                alt: target.altitude as f32,
-                speed: self.cruise_speed as f32,
-            },
-            sitl,
-        );
+        proxy.client_send(PILOT_CLIENT, self.goto_msg(target), sitl);
+    }
+
+    /// Re-issues `msg` when the proxy has dropped ground commands the
+    /// pilot has not yet compensated for, at most once per second. A
+    /// partitioned or lossy link silently swallows commands, so the
+    /// FC may never have received the current navigation target; a
+    /// resend that is itself dropped keeps the trigger armed, one
+    /// that gets through retires it. Drop-free flights never resend,
+    /// keeping their traces bit-identical.
+    fn resend_if_dropped(&mut self, proxy: &mut MavProxy, sitl: &mut Sitl, msg: Message) {
+        if self.resend_cooldown > 0 {
+            self.resend_cooldown -= 1;
+        }
+        if proxy.commands_dropped <= self.drops_seen || self.resend_cooldown > 0 {
+            return;
+        }
+        self.resend_cooldown = 400;
+        let before = proxy.commands_dropped;
+        proxy.client_send(PILOT_CLIENT, msg, sitl);
+        if proxy.commands_dropped == before {
+            self.drops_seen = proxy.commands_dropped;
+        }
     }
 
     /// Advances the pilot one proxy step, returning any events.
@@ -183,6 +211,11 @@ impl Autopilot {
             }
             PilotState::EnRoute { leg } => {
                 proxy.step(sitl);
+                let mut nav_target = self.plan.legs[leg].position;
+                if nav_target.altitude < 2.0 {
+                    nav_target.altitude = self.cruise_alt;
+                }
+                self.resend_if_dropped(proxy, sitl, self.goto_msg(nav_target));
                 let target = self.plan.legs[leg].position;
                 if sitl.position().distance_m(&target) < 2.5 {
                     self.state = PilotState::AtWaypoint { leg };
@@ -225,6 +258,14 @@ impl Autopilot {
             }
             PilotState::Returning => {
                 proxy.step(sitl);
+                self.resend_if_dropped(
+                    proxy,
+                    sitl,
+                    Message::CommandLong {
+                        command: MavCmd::NavReturnToLaunch,
+                        params: [0.0; 7],
+                    },
+                );
                 if sitl.on_ground() {
                     self.state = PilotState::Done;
                     events.push(PilotEvent::FlightComplete);

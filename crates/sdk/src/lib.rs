@@ -8,8 +8,10 @@
 
 pub mod cli;
 pub mod listener;
+pub mod retry;
 pub mod sdk;
 
 pub use cli::run_command;
 pub use listener::{RecordingListener, WaypointListener};
+pub use retry::{get_service_with_retry, transact_with_retry, RetryError, RetryPolicy};
 pub use sdk::AndroneSdk;

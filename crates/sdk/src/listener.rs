@@ -30,6 +30,10 @@ pub trait WaypointListener {
 
     /// Continuous devices may be used again.
     fn resume_continuous_devices(&mut self) {}
+
+    /// The VDC watchdog revoked this virtual drone (stalled or
+    /// repeatedly violating policy); the flight is over for this app.
+    fn watchdog_revoked(&mut self) {}
 }
 
 /// A listener that records every callback, for tests and examples.
@@ -69,5 +73,9 @@ impl WaypointListener for RecordingListener {
 
     fn resume_continuous_devices(&mut self) {
         self.log.push("resumeContinuousDevices()".into());
+    }
+
+    fn watchdog_revoked(&mut self) {
+        self.log.push("watchdogRevoked()".into());
     }
 }

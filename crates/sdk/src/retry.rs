@@ -1,0 +1,219 @@
+//! Deterministic-backoff retry for Binder calls.
+//!
+//! Guest apps talk to the VDC over Binder; under injected transaction
+//! faults (or a service mid-restart) a call can fail transiently. The
+//! SDK retries those calls with a deterministic exponential backoff —
+//! no jitter, no wall clock — so a retried flight replays identically
+//! under the dual-run sanitizer. The attempt budget is capped: when
+//! it runs out the caller gets a typed [`RetryError`], never a panic.
+
+use androne_binder::{BinderDriver, BinderError, Parcel};
+use androne_simkern::{Pid, SimDuration};
+
+/// Retry policy with deterministic exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: SimDuration,
+    /// Cap on any single backoff.
+    pub max_delay: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: SimDuration::from_millis(5),
+            max_delay: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to wait before retry number `retry` (1-based):
+    /// `base · 2^(retry-1)`, capped at `max_delay`. Pure function of
+    /// the policy — identical on every run.
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        let factor = 1u64 << retry.saturating_sub(1).min(32);
+        let nanos = self.base_delay.as_nanos().saturating_mul(factor);
+        SimDuration::from_nanos(nanos.min(self.max_delay.as_nanos()))
+    }
+}
+
+/// The typed failure of an exhausted or non-retryable call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError {
+    /// Every attempt failed with a retryable error; `last` is the
+    /// final one.
+    Exhausted { attempts: u32, last: BinderError },
+    /// The call failed with an error retrying cannot fix (bad parcel,
+    /// permission denied, ...), surfaced immediately.
+    Fatal(BinderError),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::Fatal(e) => write!(f, "non-retryable binder error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Whether an error class can plausibly clear on retry: transient
+/// transaction failures, timeouts, a service not (re)registered yet,
+/// or a remote that died and is being supervised back up.
+fn retryable(e: &BinderError) -> bool {
+    matches!(
+        e,
+        BinderError::TransactionFailed(_)
+            | BinderError::TimedOut
+            | BinderError::ServiceNotFound(_)
+            | BinderError::DeadObject
+    )
+}
+
+/// Runs `call` under `policy`. `on_backoff` is invoked with each
+/// backoff delay before a retry — callers advance simulated time (or
+/// just count) there.
+fn with_retry<T>(
+    policy: &RetryPolicy,
+    mut call: impl FnMut() -> Result<T, BinderError>,
+    on_backoff: &mut dyn FnMut(SimDuration),
+) -> Result<T, RetryError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = BinderError::TimedOut;
+    for attempt in 1..=attempts {
+        match call() {
+            Ok(v) => return Ok(v),
+            Err(e) if retryable(&e) => {
+                last = e;
+                if attempt < attempts {
+                    on_backoff(policy.backoff(attempt));
+                }
+            }
+            Err(e) => return Err(RetryError::Fatal(e)),
+        }
+    }
+    Err(RetryError::Exhausted { attempts, last })
+}
+
+/// [`androne_binder::get_service`] with retry: looks up `name` in the
+/// caller's Context Manager, retrying transient failures.
+pub fn get_service_with_retry(
+    driver: &mut BinderDriver,
+    caller: Pid,
+    name: &str,
+    policy: &RetryPolicy,
+    on_backoff: &mut dyn FnMut(SimDuration),
+) -> Result<u32, RetryError> {
+    with_retry(
+        policy,
+        || androne_binder::get_service(driver, caller, name),
+        on_backoff,
+    )
+}
+
+/// [`BinderDriver::transact`] with retry. The parcel is cloned per
+/// attempt (cheap: parcels are copy-on-write).
+pub fn transact_with_retry(
+    driver: &mut BinderDriver,
+    caller: Pid,
+    handle: u32,
+    code: u32,
+    data: &Parcel,
+    policy: &RetryPolicy,
+    on_backoff: &mut dyn FnMut(SimDuration),
+) -> Result<Parcel, RetryError> {
+    with_retry(
+        policy,
+        || driver.transact(caller, handle, code, data.clone()),
+        on_backoff,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), SimDuration::from_millis(5));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(20));
+        assert_eq!(p.backoff(10), SimDuration::from_millis(100), "capped");
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        for retry in 1..16 {
+            assert_eq!(p.backoff(retry), p.backoff(retry));
+        }
+    }
+
+    #[test]
+    fn success_after_transient_failures() {
+        let mut failures_left = 2;
+        let mut waits = Vec::new();
+        let out = with_retry(
+            &RetryPolicy::default(),
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(BinderError::TimedOut)
+                } else {
+                    Ok(7)
+                }
+            },
+            &mut |d| waits.push(d),
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(
+            waits,
+            vec![SimDuration::from_millis(5), SimDuration::from_millis(10)]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let mut calls = 0;
+        let out: Result<(), RetryError> = with_retry(
+            &RetryPolicy::default(),
+            || {
+                calls += 1;
+                Err(BinderError::TransactionFailed("injected fault".into()))
+            },
+            &mut |_| {},
+        );
+        assert_eq!(calls, 4, "attempt budget is capped");
+        match out {
+            Err(RetryError::Exhausted { attempts: 4, last }) => {
+                assert_eq!(last, BinderError::TransactionFailed("injected fault".into()));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_errors_do_not_retry() {
+        let mut calls = 0;
+        let out: Result<(), RetryError> = with_retry(
+            &RetryPolicy::default(),
+            || {
+                calls += 1;
+                Err(BinderError::BadParcel("wrong type"))
+            },
+            &mut |_| {},
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(out, Err(RetryError::Fatal(BinderError::BadParcel("wrong type"))));
+    }
+}

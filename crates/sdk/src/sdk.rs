@@ -102,6 +102,7 @@ impl AndroneSdk {
                     VdcEvent::GeofenceBreached => l.geofence_breached(),
                     VdcEvent::SuspendContinuousDevices => l.suspend_continuous_devices(),
                     VdcEvent::ResumeContinuousDevices => l.resume_continuous_devices(),
+                    VdcEvent::WatchdogRevoked => l.watchdog_revoked(),
                 }
             }
         }

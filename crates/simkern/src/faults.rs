@@ -1,0 +1,358 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a seeded schedule of typed fault events, each
+//! arming at an exact simulated tick and disarming at a later one.
+//! Plans are generated from a dedicated [`SmallRng`] stream seeded by
+//! the plan seed alone, so:
+//!
+//! - the same `(seed, horizon)` always yields the same plan, and
+//! - building or running an **empty** plan consumes zero draws from
+//!   the kernel or board RNG streams — a flight with no faults is
+//!   byte-identical to a flight on a build with no fault machinery.
+//!
+//! The plan itself is pure data; it knows nothing about drones. A
+//! [`FaultClock`] walks the schedule tick by tick and reports which
+//! events arm or disarm, and the consumer (the fault injector in the
+//! core crate) maps each [`FaultKind`] onto the simulated hardware.
+//! Everything hashes through [`StateHash`] so armed faults are part
+//! of the dual-run determinism check.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::BurstLoss;
+use crate::statehash::{StateHash, StateHasher};
+
+/// Which simulated sensor a sensor fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorChannel {
+    /// The inertial measurement unit (accelerometer + gyro).
+    Imu,
+    /// The GPS receiver.
+    Gps,
+    /// The barometric altimeter.
+    Baro,
+}
+
+impl SensorChannel {
+    const ALL: [SensorChannel; 3] = [SensorChannel::Imu, SensorChannel::Gps, SensorChannel::Baro];
+
+    fn tag(self) -> u8 {
+        match self {
+            SensorChannel::Imu => 0,
+            SensorChannel::Gps => 1,
+            SensorChannel::Baro => 2,
+        }
+    }
+}
+
+impl StateHash for SensorChannel {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u8(self.tag());
+    }
+}
+
+/// A typed fault the injector can arm on the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The sensor stops producing samples entirely.
+    SensorDropout { channel: SensorChannel },
+    /// The sensor keeps repeating its last good sample.
+    SensorStuck { channel: SensorChannel },
+    /// The sensor reports with a constant additive bias.
+    SensorBias { channel: SensorChannel, bias: f64 },
+    /// Total GPS loss (alias for a GPS dropout; the estimator must
+    /// dead-reckon on IMU alone).
+    GpsLoss,
+    /// The ground↔drone command link is fully partitioned.
+    LinkPartition,
+    /// The command uplink degrades to Gilbert–Elliott burst loss.
+    LinkBurstLoss { burst: BurstLoss },
+    /// Every `period`-th Binder transaction fails.
+    BinderFailure { period: u32 },
+    /// Every `period`-th Binder transaction times out.
+    BinderTimeout { period: u32 },
+    /// A virtual-drone container crashes; on disarm it is restarted
+    /// from its checkpoint under supervision.
+    ContainerCrash,
+    /// Battery cells degrade: the pack delivers each joule of thrust
+    /// at `1/health` times the electrical cost.
+    BatteryDegradation { health: f64 },
+}
+
+impl FaultKind {
+    fn tag(&self) -> u8 {
+        match self {
+            FaultKind::SensorDropout { .. } => 0,
+            FaultKind::SensorStuck { .. } => 1,
+            FaultKind::SensorBias { .. } => 2,
+            FaultKind::GpsLoss => 3,
+            FaultKind::LinkPartition => 4,
+            FaultKind::LinkBurstLoss { .. } => 5,
+            FaultKind::BinderFailure { .. } => 6,
+            FaultKind::BinderTimeout { .. } => 7,
+            FaultKind::ContainerCrash => 8,
+            FaultKind::BatteryDegradation { .. } => 9,
+        }
+    }
+}
+
+impl StateHash for FaultKind {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u8(self.tag());
+        match self {
+            FaultKind::SensorDropout { channel } | FaultKind::SensorStuck { channel } => {
+                channel.state_hash(h);
+            }
+            FaultKind::SensorBias { channel, bias } => {
+                channel.state_hash(h);
+                h.write_f64(*bias);
+            }
+            FaultKind::GpsLoss | FaultKind::LinkPartition | FaultKind::ContainerCrash => {}
+            FaultKind::LinkBurstLoss { burst } => {
+                h.write_f64(burst.p_good_to_bad);
+                h.write_f64(burst.p_bad_to_good);
+                h.write_f64(burst.loss_good);
+                h.write_f64(burst.loss_bad);
+            }
+            FaultKind::BinderFailure { period } | FaultKind::BinderTimeout { period } => {
+                h.write_u32(*period);
+            }
+            FaultKind::BatteryDegradation { health } => h.write_f64(*health),
+        }
+    }
+}
+
+/// One scheduled fault: arms at `arm_tick` (inclusive) and disarms
+/// at `disarm_tick` (exclusive). Ticks are the per-second observer
+/// ticks of the flight loop, i.e. whole simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    pub arm_tick: u64,
+    pub disarm_tick: u64,
+}
+
+impl StateHash for FaultEvent {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.kind.state_hash(h);
+        h.write_u64(self.arm_tick);
+        h.write_u64(self.disarm_tick);
+    }
+}
+
+/// A seeded schedule of fault events over one flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Events in generation order; overlaps are allowed.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no events. Running it must not perturb anything.
+    pub fn empty() -> FaultPlan {
+        FaultPlan { seed: 0, events: Vec::new() }
+    }
+
+    /// A plan with exactly one event, for targeted tests.
+    pub fn single(kind: FaultKind, arm_tick: u64, disarm_tick: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent { kind, arm_tick, disarm_tick }],
+        }
+    }
+
+    /// Generates a random plan for a flight of `horizon_ticks`
+    /// seconds from a dedicated RNG stream seeded by `seed` alone.
+    pub fn generate(seed: u64, horizon_ticks: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17_7C0D_E5EE_D000);
+        let horizon = horizon_ticks.max(12);
+        let count = rng.gen_range(2..=5);
+        let mut events = Vec::with_capacity(count);
+        let mut crash_used = false;
+        for _ in 0..count {
+            let kind = match rng.gen_range(0..10u32) {
+                0 => FaultKind::SensorDropout { channel: Self::pick_channel(&mut rng) },
+                1 => FaultKind::SensorStuck { channel: Self::pick_channel(&mut rng) },
+                2 => FaultKind::SensorBias {
+                    channel: Self::pick_channel(&mut rng),
+                    bias: rng.gen_range(-2.0..2.0),
+                },
+                3 => FaultKind::GpsLoss,
+                4 => FaultKind::LinkPartition,
+                5 => FaultKind::LinkBurstLoss { burst: BurstLoss::cellular_fade() },
+                6 => FaultKind::BinderFailure { period: rng.gen_range(2..6) },
+                7 => FaultKind::BinderTimeout { period: rng.gen_range(2..6) },
+                8 if !crash_used => {
+                    crash_used = true;
+                    FaultKind::ContainerCrash
+                }
+                8 => FaultKind::GpsLoss,
+                _ => FaultKind::BatteryDegradation { health: rng.gen_range(0.6..0.95) },
+            };
+            // Arm within the first three quarters so the fault has
+            // airtime; keep windows short enough that failsafes can
+            // hand control back before the flight budget runs out.
+            let arm_tick = rng.gen_range(4..horizon * 3 / 4);
+            let duration = rng.gen_range(3u64..=15);
+            events.push(FaultEvent { kind, arm_tick, disarm_tick: arm_tick + duration });
+        }
+        FaultPlan { seed, events }
+    }
+
+    fn pick_channel(rng: &mut SmallRng) -> SensorChannel {
+        SensorChannel::ALL[rng.gen_range(0..SensorChannel::ALL.len())]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The tick after which no event is armed any more.
+    pub fn last_disarm_tick(&self) -> u64 {
+        self.events.iter().map(|e| e.disarm_tick).max().unwrap_or(0)
+    }
+}
+
+impl StateHash for FaultPlan {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.seed);
+        h.write_usize(self.events.len());
+        for e in &self.events {
+            e.state_hash(h);
+        }
+    }
+}
+
+/// A transition reported by the [`FaultClock`]: event `index` of the
+/// plan armed (`armed == true`) or disarmed at the queried tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTransition {
+    pub index: usize,
+    pub armed: bool,
+}
+
+/// Walks a [`FaultPlan`] tick by tick, reporting arm/disarm edges.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    active: Vec<bool>,
+}
+
+impl FaultClock {
+    pub fn new(plan: FaultPlan) -> FaultClock {
+        let active = vec![false; plan.events.len()];
+        FaultClock { plan, active }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether event `index` is currently armed.
+    pub fn is_armed(&self, index: usize) -> bool {
+        self.active.get(index).copied().unwrap_or(false)
+    }
+
+    /// Advances the clock to `tick` and returns the edges that fire
+    /// there, in plan order (arms before disarms never interleave
+    /// within one event since windows are non-empty).
+    pub fn transitions_at(&mut self, tick: u64) -> Vec<FaultTransition> {
+        let mut out = Vec::new();
+        for (i, e) in self.plan.events.iter().enumerate() {
+            let should_be_armed = tick >= e.arm_tick && tick < e.disarm_tick;
+            if should_be_armed != self.active[i] {
+                self.active[i] = should_be_armed;
+                out.push(FaultTransition { index: i, armed: should_be_armed });
+            }
+        }
+        out
+    }
+}
+
+impl StateHash for FaultClock {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.plan.state_hash(h);
+        for a in &self.active {
+            h.write_bool(*a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(42, 120);
+        let b = FaultPlan::generate(42, 120);
+        assert_eq!(a, b);
+        assert_eq!(a.hash_value(), b.hash_value());
+        let c = FaultPlan::generate(43, 120);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_events_fit_the_horizon() {
+        for seed in 0..64 {
+            let plan = FaultPlan::generate(seed, 120);
+            assert!(
+                (2..=5).contains(&plan.events.len()),
+                "seed {seed}: {} events",
+                plan.events.len()
+            );
+            for e in &plan.events {
+                assert!(e.arm_tick >= 4);
+                assert!(e.disarm_tick > e.arm_tick);
+                assert!(e.arm_tick < 120 * 3 / 4);
+            }
+            let crashes = plan
+                .events
+                .iter()
+                .filter(|e| e.kind == FaultKind::ContainerCrash)
+                .count();
+            assert!(crashes <= 1, "seed {seed}: {crashes} container crashes");
+        }
+    }
+
+    #[test]
+    fn clock_reports_arm_and_disarm_edges() {
+        let plan = FaultPlan::single(FaultKind::GpsLoss, 10, 20);
+        let mut clock = FaultClock::new(plan);
+        assert!(clock.transitions_at(9).is_empty());
+        assert_eq!(
+            clock.transitions_at(10),
+            vec![FaultTransition { index: 0, armed: true }]
+        );
+        assert!(clock.transitions_at(15).is_empty());
+        assert!(clock.is_armed(0));
+        assert_eq!(
+            clock.transitions_at(20),
+            vec![FaultTransition { index: 0, armed: false }]
+        );
+        assert!(!clock.is_armed(0));
+        assert!(clock.transitions_at(21).is_empty());
+    }
+
+    #[test]
+    fn empty_plan_never_transitions() {
+        let mut clock = FaultClock::new(FaultPlan::empty());
+        for tick in 0..300 {
+            assert!(clock.transitions_at(tick).is_empty());
+        }
+    }
+
+    #[test]
+    fn clock_handles_skipped_ticks() {
+        // A flight that ends early may jump the clock past windows;
+        // the disarm edge still fires on the next query.
+        let plan = FaultPlan::single(FaultKind::LinkPartition, 5, 8);
+        let mut clock = FaultClock::new(plan);
+        assert_eq!(clock.transitions_at(6).len(), 1);
+        assert_eq!(clock.transitions_at(30).len(), 1);
+        assert!(!clock.is_armed(0));
+    }
+}

@@ -31,6 +31,7 @@
 pub mod cpu;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod kernel;
 pub mod latency;
 pub mod mem;
@@ -43,10 +44,11 @@ pub mod time;
 pub use cpu::{ClientId, ResourceKind, ResourceSet, SharedResource};
 pub use error::KernelError;
 pub use event::EventQueue;
+pub use faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, FaultTransition, SensorChannel};
 pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{MemOwner, MemoryLedger, MIB};
-pub use net::LinkModel;
+pub use net::{BurstLoss, LinkModel, LinkState};
 pub use statehash::{StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};
 pub use task::{ContainerId, Euid, Pid, SchedPolicy, Task, TaskState, TaskTable};

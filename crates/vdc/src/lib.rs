@@ -21,4 +21,4 @@ pub mod vdc;
 
 pub use access::{AccessTable, FlightPhase};
 pub use spec::{SpecError, VirtualDroneSpec, WaypointSpec};
-pub use vdc::{Vdc, VdcEvent, VdRecord, WARNING_FRACTION};
+pub use vdc::{Vdc, VdcEvent, VdRecord, WatchdogConfig, WARNING_FRACTION};

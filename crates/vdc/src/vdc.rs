@@ -53,11 +53,40 @@ pub enum VdcEvent {
     SuspendContinuousDevices,
     /// Continuous devices may resume.
     ResumeContinuousDevices,
+    /// The VDC watchdog revoked this virtual drone (stalled or
+    /// repeatedly violating access policy); its flight is over.
+    WatchdogRevoked,
 }
 
 /// Fraction of the allotment remaining at which low-budget warnings
 /// fire.
 pub const WARNING_FRACTION: f64 = 0.2;
+
+/// Watchdog thresholds for revoking a misbehaving virtual drone.
+///
+/// The watchdog is opt-in (`Vdc::set_watchdog`); with no config the
+/// VDC never revokes on its own. "Stalled" means the virtual drone's
+/// proxy client forwarded no traffic for `stall_timeout_s` seconds
+/// while it held an active waypoint; "violating" means its denied
+/// command count exceeded `max_denials`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Seconds of zero forwarded traffic at an active waypoint before
+    /// the virtual drone is considered stalled.
+    pub stall_timeout_s: u64,
+    /// Denied (geofence/policy-violating) commands tolerated before
+    /// revocation.
+    pub max_denials: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_timeout_s: 20,
+            max_denials: 50,
+        }
+    }
+}
 
 /// Per-virtual-drone record.
 #[derive(Debug)]
@@ -110,6 +139,8 @@ pub struct Vdc {
     /// The VDC's Binder identity (opened in the device container's
     /// namespace) for service queries during enforcement.
     binder_pid: Option<Pid>,
+    /// Opt-in watchdog thresholds; `None` disables revocation.
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Vdc {
@@ -120,6 +151,7 @@ impl Vdc {
             records: BTreeMap::new(),
             by_container: BTreeMap::new(),
             binder_pid: None,
+            watchdog: None,
         }
     }
 
@@ -132,6 +164,60 @@ impl Vdc {
     /// Sets the VDC's Binder identity for enforcement queries.
     pub fn set_binder_identity(&mut self, pid: Pid) {
         self.binder_pid = Some(pid);
+    }
+
+    /// Arms the per-virtual-drone watchdog.
+    pub fn set_watchdog(&mut self, cfg: Option<WatchdogConfig>) {
+        self.watchdog = cfg;
+    }
+
+    /// The current watchdog config, if armed.
+    pub fn watchdog(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+    }
+
+    /// Records a watchdog revocation: the virtual drone's flight is
+    /// over (phase `Finished`, so every device grant lapses) and the
+    /// app is told why through its event queue.
+    pub fn on_watchdog_revoked(&mut self, name: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.events.push_back(VdcEvent::WatchdogRevoked);
+            self.access
+                .borrow_mut()
+                .set_phase(rec.container, FlightPhase::Finished);
+        }
+    }
+
+    /// Moves a virtual drone's registration to a new container id
+    /// after a supervised restart (checkpoint/restore gives the
+    /// restored container a fresh id). The allotment record — energy
+    /// and time already used, waypoints completed, pending events —
+    /// carries over untouched; only the container binding and the
+    /// access-table entry move, preserving the current flight phase.
+    pub fn rebind_container(&mut self, name: &str, new_id: ContainerId) {
+        let Some(rec) = self.records.get_mut(name) else {
+            return;
+        };
+        let old_id = rec.container;
+        if old_id == new_id {
+            return;
+        }
+        let phase = self.access.borrow().phase(old_id);
+        {
+            let mut access = self.access.borrow_mut();
+            access.unregister(old_id);
+            access.register(
+                new_id,
+                rec.spec.waypoint_classes(),
+                rec.spec.continuous_classes(),
+            );
+            if let Some(phase) = phase {
+                access.set_phase(new_id, phase);
+            }
+        }
+        rec.container = new_id;
+        self.by_container.remove(&old_id);
+        self.by_container.insert(new_id, name.to_string());
     }
 
     /// Registers a virtual drone before flight.
@@ -392,6 +478,7 @@ impl StateHash for VdcEvent {
             VdcEvent::GeofenceBreached => h.write_u8(4),
             VdcEvent::SuspendContinuousDevices => h.write_u8(5),
             VdcEvent::ResumeContinuousDevices => h.write_u8(6),
+            VdcEvent::WatchdogRevoked => h.write_u8(7),
         }
     }
 }
@@ -433,6 +520,14 @@ impl StateHash for Vdc {
             Some(pid) => {
                 h.write_u8(1);
                 pid.state_hash(h);
+            }
+            None => h.write_u8(0),
+        }
+        match self.watchdog {
+            Some(cfg) => {
+                h.write_u8(1);
+                h.write_u64(cfg.stall_timeout_s);
+                h.write_u64(cfg.max_denials);
             }
             None => h.write_u8(0),
         }
@@ -543,6 +638,38 @@ mod tests {
         vdc.mark_file("vd1", "/data/survey/ortho.tif");
         vdc.mark_file("vd1", "/data/survey/report.json");
         assert_eq!(vdc.record("vd1").unwrap().marked_files.len(), 2);
+    }
+
+    #[test]
+    fn rebind_preserves_allotment_and_phase() {
+        let (mut vdc, old) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.on_waypoint_arrived("vd1", 0);
+        vdc.charge_energy("vd1", 12_345.0);
+        vdc.charge_time("vd1", 33.0);
+        let new = ContainerId(42);
+        vdc.rebind_container("vd1", new);
+        let rec = vdc.record("vd1").unwrap();
+        assert_eq!(rec.container, new);
+        assert!((rec.energy_remaining_j() - (45_000.0 - 12_345.0)).abs() < 1e-9);
+        assert_eq!(
+            vdc.access().borrow().phase(new),
+            Some(FlightPhase::AtWaypoint(0)),
+            "flight phase survives the rebind"
+        );
+        assert_eq!(vdc.access().borrow().phase(old), None, "old id unregistered");
+        assert!(vdc.allows("vd1", DeviceClass::Camera));
+    }
+
+    #[test]
+    fn watchdog_revocation_finishes_the_flight() {
+        let (mut vdc, _) = vdc_with(VirtualDroneSpec::example_survey());
+        vdc.set_watchdog(Some(WatchdogConfig::default()));
+        vdc.on_waypoint_arrived("vd1", 0);
+        vdc.drain_events("vd1");
+        assert!(vdc.allows("vd1", DeviceClass::Camera));
+        vdc.on_watchdog_revoked("vd1");
+        assert!(!vdc.allows("vd1", DeviceClass::Camera), "grants lapse");
+        assert_eq!(vdc.drain_events("vd1"), vec![VdcEvent::WatchdogRevoked]);
     }
 
     #[test]

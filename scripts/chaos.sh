@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Seeded chaos gate.
+#
+# Runs the chaos suite in release with a widened seed sweep: 24
+# generated fault plans, each flown twice, holding the four gate
+# invariants (containment, energy accounting, defined end, dual-run
+# bit-identity) plus one targeted test per fault kind and the
+# empty-plan baseline bit-identity check.
+#
+# Usage: scripts/chaos.sh [seeds]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-24}"
+
+echo "== chaos gate (${SEEDS} seeded fault plans, dual-run) =="
+CHAOS_SEEDS="${SEEDS}" cargo test -q --release -p androne --test chaos
