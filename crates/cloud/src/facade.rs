@@ -1,0 +1,443 @@
+//! The fallible cloud façade: [`CloudService`] behind injected
+//! cloud-side faults.
+//!
+//! The paper treats the cloud as an always-up oracle; a fleet-scale
+//! chaos run cannot. [`FallibleCloud`] wraps the service and arms the
+//! [`CloudFaultKind`] windows of a fleet fault plan, one wave (one
+//! planning round) at a time, mapping each fault onto a typed error
+//! plus a degraded mode instead of a panic:
+//!
+//! - **Portal down / planner rejection** — the wave's orders queue in
+//!   the façade and merge into the next healthy planning round.
+//! - **VDR unavailable** — interrupted virtual drones cannot be
+//!   checked out; the caller leaves them for a later wave (their
+//!   entries stay safely leased-or-stored either way).
+//! - **Storage write failures** — offloads run under the SDK's
+//!   deterministic retry/backoff; when the attempt budget is
+//!   exhausted the offload buffers (on-drone, conceptually) and
+//!   drains on heal, billing reconciled at drain time.
+//!
+//! Everything is deterministic: the armed set is pure plan data, the
+//! retry backoff is the SDK's jitter-free policy, and the façade log
+//! records each degraded-mode decision for the dual-run sanitizer.
+
+use androne_hal::GeoPoint;
+use androne_planner::FlightPlan;
+use androne_sdk::{retry_with_backoff, RetryFailure, RetryPolicy};
+use androne_simkern::{CloudFaultKind, SimDuration};
+
+use crate::portal::PlacedOrder;
+use crate::service::{CloudService, NotificationKind};
+use crate::vdr::SavedVirtualDrone;
+
+/// A typed cloud-side failure surfaced to the fleet executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The portal is down; the orders were queued.
+    PortalDown,
+    /// The VDR is unreachable; nothing was checked out.
+    VdrUnavailable,
+    /// A storage write failed after `attempts` tries.
+    StorageWrite { attempts: u32 },
+    /// The planner rejected the wave; the orders were queued.
+    PlannerRejected,
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::PortalDown => write!(f, "portal down"),
+            CloudError::VdrUnavailable => write!(f, "virtual drone repository unavailable"),
+            CloudError::StorageWrite { attempts } => {
+                write!(f, "storage write failed after {attempts} attempts")
+            }
+            CloudError::PlannerRejected => write!(f, "flight planner rejected the wave"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// An offload held back by a storage outage, awaiting heal.
+#[derive(Debug, Clone)]
+pub struct BufferedOffload {
+    pub user: String,
+    pub flight_id: u64,
+    pub path: String,
+    pub data: bytes::Bytes,
+}
+
+/// [`CloudService`] behind injected fault windows.
+pub struct FallibleCloud {
+    /// The wrapped service; healthy paths pass straight through.
+    pub inner: CloudService,
+    /// Cloud faults armed for the current wave.
+    armed: Vec<CloudFaultKind>,
+    /// Retry policy for storage writes (deterministic backoff).
+    retry: RetryPolicy,
+    /// Orders queued while the portal/planner was unavailable.
+    queued: Vec<PlacedOrder>,
+    /// Offloads awaiting a storage heal.
+    buffered: Vec<BufferedOffload>,
+    /// Total simulated backoff spent in retries (bookkeeping only).
+    pub backoff_spent: SimDuration,
+    /// Human-readable record of every degraded-mode decision.
+    pub log: Vec<String>,
+}
+
+impl FallibleCloud {
+    /// Wraps a fresh service with no faults armed.
+    pub fn new() -> Self {
+        Self::from_service(CloudService::new())
+    }
+
+    /// Wraps an existing service.
+    pub fn from_service(inner: CloudService) -> Self {
+        FallibleCloud {
+            inner,
+            armed: Vec::new(),
+            retry: RetryPolicy::default(),
+            queued: Vec::new(),
+            buffered: Vec::new(),
+            backoff_spent: SimDuration::from_nanos(0),
+            log: Vec::new(),
+        }
+    }
+
+    /// Arms `faults` for wave `wave`, healing whatever is no longer
+    /// armed: a storage heal drains the offload buffer (billing
+    /// reconciled now), a portal/planner heal lets the queued orders
+    /// merge into this wave's planning round.
+    pub fn begin_wave(&mut self, wave: u64, faults: Vec<CloudFaultKind>) {
+        self.armed = faults;
+        if !self.armed.is_empty() {
+            self.log.push(format!("wave {wave}: armed {:?}", self.armed));
+        }
+        if self.storage_transients().is_none() && !self.buffered.is_empty() {
+            self.log.push(format!(
+                "wave {wave}: storage healed, draining {} buffered offloads",
+                self.buffered.len()
+            ));
+            let buffered = std::mem::take(&mut self.buffered);
+            for b in buffered {
+                self.offload_now(&b.user, b.flight_id, b.path, b.data);
+            }
+        }
+    }
+
+    fn portal_down(&self) -> bool {
+        self.armed.iter().any(|f| matches!(f, CloudFaultKind::PortalDown))
+    }
+
+    fn vdr_down(&self) -> bool {
+        self.armed.iter().any(|f| matches!(f, CloudFaultKind::VdrUnavailable))
+    }
+
+    fn planner_rejecting(&self) -> bool {
+        self.armed.iter().any(|f| matches!(f, CloudFaultKind::PlannerReject))
+    }
+
+    /// Transient failures per storage write while the fault is armed.
+    fn storage_transients(&self) -> Option<u32> {
+        self.armed.iter().find_map(|f| match f {
+            CloudFaultKind::StorageWriteFail { transient_failures } => Some(*transient_failures),
+            _ => None,
+        })
+    }
+
+    /// Orders currently queued behind an outage.
+    pub fn queued_orders(&self) -> &[PlacedOrder] {
+        &self.queued
+    }
+
+    /// Offloads currently buffered behind a storage outage.
+    pub fn buffered_offloads(&self) -> &[BufferedOffload] {
+        &self.buffered
+    }
+
+    /// Plans the wave's flights, or queues the orders behind a typed
+    /// error when the portal or planner is down. A healthy round
+    /// merges previously queued orders with the new ones (new orders
+    /// win on a name collision — a queued resume order is stale once
+    /// the caller rebuilt it).
+    pub fn try_plan_flights(
+        &mut self,
+        orders: &[PlacedOrder],
+        base: GeoPoint,
+        fleet_size: usize,
+    ) -> Result<Vec<FlightPlan>, CloudError> {
+        if self.portal_down() || self.planner_rejecting() {
+            let err = if self.portal_down() {
+                CloudError::PortalDown
+            } else {
+                CloudError::PlannerRejected
+            };
+            for o in orders {
+                if !self.queued.iter().any(|q| q.vd_name == o.vd_name) {
+                    self.queued.push(o.clone());
+                }
+            }
+            self.log.push(format!("{err}: {} orders queued", self.queued.len()));
+            return Err(err);
+        }
+        let mut all: Vec<PlacedOrder> = orders.to_vec();
+        for q in std::mem::take(&mut self.queued) {
+            if !all.iter().any(|o| o.vd_name == q.vd_name) {
+                all.push(q);
+            }
+        }
+        Ok(self.inner.plan_flights(&all, base, fleet_size))
+    }
+
+    /// Checks out a saved virtual drone for resume, unless the VDR
+    /// is unreachable this wave. `Ok(None)` means nothing is stored
+    /// (or the name is already leased).
+    pub fn checkout_saved(&mut self, name: &str) -> Result<Option<SavedVirtualDrone>, CloudError> {
+        if self.vdr_down() {
+            self.log.push(format!("vdr unavailable: {name} not checked out"));
+            return Err(CloudError::VdrUnavailable);
+        }
+        Ok(self.inner.vdr.checkout(name))
+    }
+
+    /// Post-flight bookkeeping under faults. Energy billing is an
+    /// internal ledger write and always reconciles; each file offload
+    /// runs under the deterministic retry policy, buffering when the
+    /// attempt budget is exhausted.
+    pub fn try_complete_flight(
+        &mut self,
+        user: &str,
+        flight_id: u64,
+        energy_used_j: f64,
+        files: Vec<(String, bytes::Bytes)>,
+    ) {
+        self.inner.billing.charge_energy(user, energy_used_j);
+        let mut links = Vec::new();
+        let mut buffered = 0usize;
+        for (path, data) in files {
+            match self.offload_with_retry(user, flight_id, &path, &data) {
+                Ok(link) => links.push(link),
+                Err(e) => {
+                    self.log.push(format!(
+                        "flight {flight_id}: {e}; buffering {path} for {user}"
+                    ));
+                    self.buffered.push(BufferedOffload {
+                        user: user.to_string(),
+                        flight_id,
+                        path,
+                        data,
+                    });
+                    buffered += 1;
+                }
+            }
+        }
+        let mut message = if links.is_empty() {
+            format!("Flight {flight_id} complete.")
+        } else {
+            format!("Flight {flight_id} complete. Your files: {}", links.join(", "))
+        };
+        if buffered > 0 {
+            message.push_str(&format!(
+                " {buffered} files are delayed by a storage outage and will follow."
+            ));
+        }
+        self.inner.notify(user, NotificationKind::Email, message);
+    }
+
+    /// One offload under the retry policy. While `StorageWriteFail`
+    /// is armed, the first `transient_failures` attempts fail; the
+    /// deterministic backoff ladder runs between attempts.
+    fn offload_with_retry(
+        &mut self,
+        user: &str,
+        flight_id: u64,
+        path: &str,
+        data: &bytes::Bytes,
+    ) -> Result<String, CloudError> {
+        let transients = self.storage_transients().unwrap_or(0);
+        let retry = self.retry;
+        let mut backoff = SimDuration::from_nanos(0);
+        let attempted = retry_with_backoff(
+            &retry,
+            |_e: &CloudError| true,
+            |attempt| {
+                if attempt <= transients {
+                    Err(CloudError::StorageWrite { attempts: attempt })
+                } else {
+                    Ok(())
+                }
+            },
+            &mut |d| backoff = SimDuration::from_nanos(backoff.as_nanos() + d.as_nanos()),
+        );
+        self.backoff_spent =
+            SimDuration::from_nanos(self.backoff_spent.as_nanos() + backoff.as_nanos());
+        match attempted {
+            Ok(()) => {
+                if transients > 0 {
+                    self.log.push(format!(
+                        "storage write {path}: succeeded after {transients} transient failures"
+                    ));
+                }
+                Ok(self.offload_now(user, flight_id, path.to_string(), data.clone()))
+            }
+            Err(RetryFailure::Exhausted { attempts, .. }) => {
+                Err(CloudError::StorageWrite { attempts })
+            }
+            Err(RetryFailure::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// The healthy offload path: storage write, storage billing, and
+    /// the retrieval link.
+    fn offload_now(
+        &mut self,
+        user: &str,
+        flight_id: u64,
+        path: String,
+        data: bytes::Bytes,
+    ) -> String {
+        self.inner.billing.charge_storage(user, data.len() as f64 / 1e9);
+        let link = self.inner.storage.offload(user, flight_id, path, data);
+        self.inner.notify(
+            user,
+            NotificationKind::Email,
+            format!("Your file is ready: {link}"),
+        );
+        link
+    }
+
+    /// Refunds the unserved remainder of a terminally failed order
+    /// and notifies the user.
+    pub fn refund_unserved(&mut self, user: &str, vd_name: &str, energy_j: f64) {
+        self.inner.billing.refund_energy(user, energy_j);
+        self.log
+            .push(format!("refund {user}/{vd_name}: {energy_j:.1} J unserved"));
+        self.inner.notify(
+            user,
+            NotificationKind::Email,
+            format!(
+                "Virtual drone {vd_name} could not complete its mission; \
+                 {energy_j:.0} J of unserved allotment was refunded."
+            ),
+        );
+    }
+}
+
+impl Default for FallibleCloud {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal::PlacedOrder;
+    use androne_vdc::VirtualDroneSpec;
+
+    const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
+
+    fn order(name: &str) -> PlacedOrder {
+        PlacedOrder {
+            order_id: 1,
+            user: format!("user-{name}"),
+            vd_name: name.to_string(),
+            spec: VirtualDroneSpec::example_survey(),
+            flexible_schedule: true,
+        }
+    }
+
+    #[test]
+    fn portal_down_queues_orders_and_heals_into_next_wave() {
+        let mut cloud = FallibleCloud::new();
+        cloud.begin_wave(0, vec![CloudFaultKind::PortalDown]);
+        let err = cloud.try_plan_flights(&[order("vd-a")], BASE, 1).unwrap_err();
+        assert_eq!(err, CloudError::PortalDown);
+        assert_eq!(cloud.queued_orders().len(), 1);
+
+        cloud.begin_wave(1, vec![]);
+        let plans = cloud.try_plan_flights(&[], BASE, 1).unwrap();
+        assert!(!plans.is_empty(), "queued order planned after heal");
+        assert!(cloud.queued_orders().is_empty());
+    }
+
+    #[test]
+    fn planner_rejection_requeues_without_duplicates() {
+        let mut cloud = FallibleCloud::new();
+        cloud.begin_wave(0, vec![CloudFaultKind::PlannerReject]);
+        assert_eq!(
+            cloud.try_plan_flights(&[order("vd-a")], BASE, 1).unwrap_err(),
+            CloudError::PlannerRejected
+        );
+        // The caller retries the same wave orders; no duplicate queue
+        // entries accumulate.
+        let _ = cloud.try_plan_flights(&[order("vd-a")], BASE, 1);
+        assert_eq!(cloud.queued_orders().len(), 1);
+    }
+
+    #[test]
+    fn vdr_outage_blocks_checkout_without_losing_the_entry() {
+        let mut cloud = FallibleCloud::new();
+        cloud.begin_wave(0, vec![CloudFaultKind::VdrUnavailable]);
+        assert_eq!(
+            cloud.checkout_saved("vd-a").unwrap_err(),
+            CloudError::VdrUnavailable
+        );
+        cloud.begin_wave(1, vec![]);
+        assert!(cloud.checkout_saved("vd-a").unwrap().is_none(), "nothing stored");
+    }
+
+    #[test]
+    fn transient_storage_failures_clear_under_retry() {
+        let mut cloud = FallibleCloud::new();
+        // 2 transient failures < 4 attempts: the retry ladder clears.
+        cloud.begin_wave(0, vec![CloudFaultKind::StorageWriteFail { transient_failures: 2 }]);
+        cloud.try_complete_flight(
+            "alice",
+            7,
+            1_000.0,
+            vec![("/data/a.bin".into(), bytes::Bytes::from_static(b"xy"))],
+        );
+        assert!(cloud.buffered_offloads().is_empty(), "retries succeeded");
+        assert!(cloud.inner.storage.fetch("alice", "/data/a.bin").is_some());
+        assert!(cloud.backoff_spent.as_nanos() > 0, "backoff actually waited");
+        assert!((cloud.inner.billing.bill("alice").energy_j - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_storage_retries_buffer_and_drain_on_heal() {
+        let mut cloud = FallibleCloud::new();
+        cloud.begin_wave(0, vec![CloudFaultKind::StorageWriteFail { transient_failures: 10 }]);
+        cloud.try_complete_flight(
+            "alice",
+            7,
+            1_000.0,
+            vec![("/data/a.bin".into(), bytes::Bytes::from_static(b"xy"))],
+        );
+        assert_eq!(cloud.buffered_offloads().len(), 1, "offload buffered");
+        assert!(cloud.inner.storage.fetch("alice", "/data/a.bin").is_none());
+        // Billing for storage waits for the write; energy reconciled.
+        assert_eq!(cloud.inner.billing.bill("alice").storage_gb_months, 0.0);
+        assert!((cloud.inner.billing.bill("alice").energy_j - 1_000.0).abs() < 1e-9);
+
+        cloud.begin_wave(1, vec![]);
+        assert!(cloud.buffered_offloads().is_empty(), "drained on heal");
+        assert!(cloud.inner.storage.fetch("alice", "/data/a.bin").is_some());
+        assert!(cloud.inner.billing.bill("alice").storage_gb_months > 0.0);
+    }
+
+    #[test]
+    fn refunds_reach_the_ledger_and_the_user() {
+        let mut cloud = FallibleCloud::new();
+        cloud.inner.billing.charge_energy("alice", 10_000.0);
+        cloud.refund_unserved("alice", "vd-a", 4_000.0);
+        assert!((cloud.inner.billing.bill("alice").net_energy_j() - 6_000.0).abs() < 1e-9);
+        assert!(cloud
+            .inner
+            .notifications
+            .last()
+            .unwrap()
+            .message
+            .contains("refunded"));
+    }
+}

@@ -12,15 +12,20 @@
 //!   links.
 //! - [`service`]: the assembled service with VRP-based flight
 //!   planning, billing, and user notifications.
+//! - [`facade`]: the fallible service façade — the cloud as a
+//!   failure domain, with typed errors, deterministic retry, and
+//!   degraded modes for fleet-scale chaos runs.
 
 pub mod appstore;
+pub mod facade;
 pub mod portal;
 pub mod service;
 pub mod storage;
 pub mod vdr;
 
 pub use appstore::{AppListing, AppStore};
+pub use facade::{BufferedOffload, CloudError, FallibleCloud};
 pub use portal::{AppSelection, DroneType, OrderError, OrderRequest, PlacedOrder, Portal};
-pub use service::{CloudService, Notification, NotificationKind};
+pub use service::{CloudService, Notification, NotificationKind, MAX_VDRONES_PER_FLIGHT};
 pub use storage::{CloudStorage, StoredFile};
 pub use vdr::{SaveReason, SavedVirtualDrone, VirtualDroneRepository};

@@ -7,7 +7,16 @@
 
 use androne_energy::{BatteryPack, BillingLedger, DorlingModel};
 use androne_hal::GeoPoint;
-use androne_planner::{FlightPlan, VrpProblem, WaypointTask};
+use androne_planner::{FlightPlan, RouteConstraints, VrpProblem, WaypointTask};
+
+/// How many virtual drones one physical drone can host per flight.
+///
+/// The 880 MiB board (Figure 12) less the host OS + VDC (95 MiB),
+/// device container (110 MiB), and flight container (40 MiB) leaves
+/// 635 MiB — room for three 185 MiB virtual-drone containers but not
+/// four. An energy-feasible route carrying a fourth tenant would OOM
+/// at deploy, so the planner treats this as a hard route capacity.
+pub const MAX_VDRONES_PER_FLIGHT: usize = 3;
 
 use crate::appstore::AppStore;
 use crate::portal::{PlacedOrder, Portal};
@@ -99,6 +108,25 @@ impl CloudService {
                 radii.push(wp.max_radius);
             }
         }
+        // One capacity party per ordering virtual drone: a route may
+        // carry at most MAX_VDRONES_PER_FLIGHT of them. With that
+        // many tenants or fewer the constraint is inert and the
+        // legacy unconstrained solve runs bit-identically.
+        let mut parties: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut owners: Vec<&str> = Vec::new();
+            for (i, t) in tasks.iter().enumerate() {
+                match owners.iter().position(|o| *o == t.owner) {
+                    Some(p) => parties[p].push(i),
+                    None => {
+                        owners.push(&t.owner);
+                        parties.push(vec![i]);
+                    }
+                }
+            }
+        }
+        let constraints =
+            RouteConstraints::none().with_party_capacity(parties, MAX_VDRONES_PER_FLIGHT);
         let problem = VrpProblem {
             depot: base,
             tasks,
@@ -106,7 +134,7 @@ impl CloudService {
             battery_budget_j: battery.plannable_j(),
             model,
         };
-        let solution = problem.solve(20_000, 0xA17D);
+        let solution = problem.solve_constrained(20_000, 0xA17D, &constraints);
         let plans = FlightPlan::from_solution(&problem, &solution, |i| radii[i]);
 
         // Send each user their estimated operating window (paper

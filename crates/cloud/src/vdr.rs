@@ -4,6 +4,13 @@
 //! (paper Section 4): a virtual drone saved here — definition plus
 //! container diff plus app saved-state — can be reinstated on any
 //! compatible drone hardware for a later flight.
+//!
+//! Reinstating goes through a lease ([`VirtualDroneRepository::checkout`] /
+//! [`VirtualDroneRepository::commit`] / [`VirtualDroneRepository::abandon`])
+//! rather than a destructive `take`: a cloud-side fault between
+//! removing the entry and re-storing it must not lose a customer's
+//! virtual drone. A checked-out entry stays on the books (leased)
+//! until the caller either commits the resume or abandons it back.
 
 use std::collections::BTreeMap;
 
@@ -17,7 +24,8 @@ pub struct SavedVirtualDrone {
     pub name: String,
     /// Owning user account.
     pub owner: String,
-    /// The JSON definition.
+    /// The JSON definition — always the *original* spec; resume
+    /// progress is tracked by the bookkeeping fields below.
     pub spec: VirtualDroneSpec,
     /// The container archive (base layer ids + private diff).
     pub archive: ContainerArchive,
@@ -25,6 +33,41 @@ pub struct SavedVirtualDrone {
     pub app_state: String,
     /// Why it was saved (completed / interrupted / preconfigured).
     pub reason: SaveReason,
+    /// Joules left of the original allotment (resume bookkeeping).
+    pub remaining_energy_j: f64,
+    /// Seconds left of the original allotment (resume bookkeeping).
+    pub remaining_time_s: f64,
+    /// Waypoints of `spec` completed in prior flights; a resumed
+    /// flight continues at this index.
+    pub waypoints_completed: usize,
+    /// Physical flights this virtual drone has flown on so far.
+    pub flights_flown: u32,
+}
+
+impl SavedVirtualDrone {
+    /// Whether any mission and allotment remain to resume.
+    pub fn resumable(&self) -> bool {
+        self.reason == SaveReason::Interrupted
+            && self.waypoints_completed < self.spec.waypoints.len()
+            && self.remaining_energy_j > 0.0
+            && self.remaining_time_s > 0.0
+    }
+
+    /// The spec a resumed flight deploys with: the waypoints not yet
+    /// completed, budgeted with the carried-over allotment. `None`
+    /// when nothing remains to resume — per-flight billing against
+    /// the truncated allotment telescopes, so summed bills across
+    /// flights equal original allotment minus final remainder.
+    pub fn resume_spec(&self) -> Option<VirtualDroneSpec> {
+        if !self.resumable() {
+            return None;
+        }
+        let mut spec = self.spec.clone();
+        spec.waypoints = self.spec.waypoints[self.waypoints_completed..].to_vec();
+        spec.energy_allotted = self.remaining_energy_j;
+        spec.max_duration = self.remaining_time_s;
+        Some(spec)
+    }
 }
 
 /// Why a virtual drone landed in the VDR.
@@ -42,6 +85,10 @@ pub enum SaveReason {
 #[derive(Debug, Default)]
 pub struct VirtualDroneRepository {
     entries: BTreeMap<String, SavedVirtualDrone>,
+    /// Checked-out entries awaiting commit/abandon. Still owned by
+    /// the repository: a caller that dies mid-resume loses its lease,
+    /// not the customer's drone.
+    leased: BTreeMap<String, SavedVirtualDrone>,
 }
 
 impl VirtualDroneRepository {
@@ -60,9 +107,46 @@ impl VirtualDroneRepository {
         self.entries.get(name)
     }
 
-    /// Removes and returns a virtual drone (when reinstating it).
-    pub fn take(&mut self, name: &str) -> Option<SavedVirtualDrone> {
-        self.entries.remove(name)
+    /// Checks out a virtual drone for reinstatement. The caller gets
+    /// a copy to deploy from; the entry moves to the lease table and
+    /// is no longer visible to `get`/listings until [`Self::commit`]
+    /// (resume succeeded; drop the old copy) or [`Self::abandon`]
+    /// (resume failed; put it back) resolves the lease. A name
+    /// already leased cannot be checked out again.
+    pub fn checkout(&mut self, name: &str) -> Option<SavedVirtualDrone> {
+        if self.leased.contains_key(name) {
+            return None;
+        }
+        let entry = self.entries.remove(name)?;
+        let copy = entry.clone();
+        self.leased.insert(name.to_string(), entry);
+        Some(copy)
+    }
+
+    /// Resolves a lease after a successful resume: the checked-out
+    /// copy has been superseded (typically by a fresh `store`), so
+    /// the leased original is dropped. Returns whether a lease
+    /// existed.
+    pub fn commit(&mut self, name: &str) -> bool {
+        self.leased.remove(name).is_some()
+    }
+
+    /// Resolves a lease after a failed resume: the original entry
+    /// returns to the repository untouched. Returns whether a lease
+    /// existed.
+    pub fn abandon(&mut self, name: &str) -> bool {
+        match self.leased.remove(name) {
+            Some(entry) => {
+                self.entries.insert(name.to_string(), entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names currently checked out and unresolved.
+    pub fn leased_names(&self) -> Vec<&str> {
+        self.leased.keys().map(String::as_str).collect()
     }
 
     /// Lists a user's stored virtual drones.
@@ -79,9 +163,13 @@ impl VirtualDroneRepository {
     }
 
     /// Total bytes stored (diffs only; base layers live once on each
-    /// drone).
+    /// drone). Leased entries still count — they are not gone.
     pub fn stored_bytes(&self) -> u64 {
-        self.entries.values().map(|e| e.archive.stored_bytes()).sum()
+        self.entries
+            .values()
+            .chain(self.leased.values())
+            .map(|e| e.archive.stored_bytes())
+            .sum()
     }
 }
 
@@ -93,10 +181,15 @@ mod tests {
     fn saved(name: &str, reason: SaveReason) -> SavedVirtualDrone {
         let mut diff = Layer::new();
         diff.write("/data/state.json", "{\"wp\":1}");
+        let spec = VirtualDroneSpec::example_survey();
         SavedVirtualDrone {
             name: name.into(),
             owner: "alice".into(),
-            spec: VirtualDroneSpec::example_survey(),
+            remaining_energy_j: spec.energy_allotted,
+            remaining_time_s: spec.max_duration,
+            waypoints_completed: 0,
+            flights_flown: 0,
+            spec,
             archive: ContainerArchive {
                 name: name.into(),
                 kind: ContainerKind::VirtualDrone,
@@ -109,14 +202,91 @@ mod tests {
     }
 
     #[test]
-    fn store_take_round_trip() {
+    fn store_checkout_commit_round_trip() {
         let mut vdr = VirtualDroneRepository::new();
         vdr.store(saved("vd1", SaveReason::Interrupted));
         assert_eq!(vdr.list_for("alice").len(), 1);
         assert_eq!(vdr.interrupted().len(), 1);
-        let back = vdr.take("vd1").unwrap();
-        assert_eq!(back.name, "vd1");
+        let copy = vdr.checkout("vd1").unwrap();
+        assert_eq!(copy.name, "vd1");
+        // Checked out: invisible to lookups, held on the lease table.
         assert!(vdr.get("vd1").is_none());
+        assert!(vdr.interrupted().is_empty());
+        assert_eq!(vdr.leased_names(), vec!["vd1"]);
+        // Resume succeeded: the new state is stored, the lease drops.
+        let mut resumed = copy;
+        resumed.waypoints_completed = 1;
+        resumed.flights_flown = 1;
+        vdr.store(resumed);
+        assert!(vdr.commit("vd1"));
+        assert!(vdr.leased_names().is_empty());
+        assert_eq!(vdr.get("vd1").unwrap().waypoints_completed, 1);
+    }
+
+    #[test]
+    fn abandon_restores_the_original_entry() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Interrupted));
+        let _copy = vdr.checkout("vd1").unwrap();
+        assert!(vdr.get("vd1").is_none(), "entry is leased out");
+        // The caller aborted mid-resume (cloud fault, drone error):
+        // nothing is lost, the entry comes back verbatim.
+        assert!(vdr.abandon("vd1"));
+        let back = vdr.get("vd1").unwrap();
+        assert_eq!(back.reason, SaveReason::Interrupted);
+        assert_eq!(vdr.interrupted().len(), 1);
+        assert!(!vdr.abandon("vd1"), "lease already resolved");
+    }
+
+    #[test]
+    fn double_checkout_is_refused() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Interrupted));
+        assert!(vdr.checkout("vd1").is_some());
+        assert!(vdr.checkout("vd1").is_none(), "lease held");
+        assert!(!vdr.commit("missing"), "unknown lease");
+    }
+
+    #[test]
+    fn interrupted_lists_only_resumable_reasons() {
+        let mut vdr = VirtualDroneRepository::new();
+        vdr.store(saved("vd1", SaveReason::Completed));
+        vdr.store(saved("vd2", SaveReason::Interrupted));
+        vdr.store(saved("vd3", SaveReason::Preconfigured));
+        let names: Vec<&str> = vdr.interrupted().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["vd2"]);
+    }
+
+    #[test]
+    fn resume_spec_truncates_mission_and_carries_allotment() {
+        let mut s = saved("vd1", SaveReason::Interrupted);
+        s.waypoints_completed = 1;
+        s.remaining_energy_j = 12_000.0;
+        s.remaining_time_s = 200.0;
+        let spec = s.resume_spec().unwrap();
+        assert_eq!(spec.waypoints.len(), s.spec.waypoints.len() - 1);
+        assert_eq!(spec.waypoints[0], s.spec.waypoints[1]);
+        assert_eq!(spec.energy_allotted, 12_000.0);
+        assert_eq!(spec.max_duration, 200.0);
+        let done = {
+            let mut d = saved("vd1", SaveReason::Interrupted);
+            d.waypoints_completed = d.spec.waypoints.len();
+            d
+        };
+        assert!(done.resume_spec().is_none());
+    }
+
+    #[test]
+    fn resume_bookkeeping_tracks_allotment_and_progress() {
+        let mut s = saved("vd1", SaveReason::Interrupted);
+        assert!(s.resumable());
+        s.remaining_energy_j = 0.0;
+        assert!(!s.resumable(), "no energy left to resume on");
+        let mut s = saved("vd1", SaveReason::Interrupted);
+        s.waypoints_completed = s.spec.waypoints.len();
+        assert!(!s.resumable(), "mission already done");
+        let s = saved("vd1", SaveReason::Completed);
+        assert!(!s.resumable(), "completed drones are not resumed");
     }
 
     #[test]
@@ -125,6 +295,8 @@ mod tests {
         vdr.store(saved("vd1", SaveReason::Completed));
         let expected = "{\"wp\":1}".len() as u64;
         assert_eq!(vdr.stored_bytes(), expected, "just the diff bytes");
+        let _ = vdr.checkout("vd1");
+        assert_eq!(vdr.stored_bytes(), expected, "leased entries still count");
     }
 
     #[test]
@@ -132,5 +304,7 @@ mod tests {
         let mut vdr = VirtualDroneRepository::new();
         vdr.store(saved("vd1", SaveReason::Completed));
         assert!(vdr.list_for("bob").is_empty());
+        let owned: Vec<&str> = vdr.list_for("alice").iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(owned, vec!["vd1"]);
     }
 }

@@ -86,20 +86,38 @@ impl Androne {
             o.dedup();
             o
         };
+        // Prior progress per owner, for resumed drones' bookkeeping.
+        let mut prior: std::collections::BTreeMap<String, (usize, u32)> =
+            std::collections::BTreeMap::new();
         for owner in &owners {
             let order = orders
                 .iter()
                 .find(|o| &o.vd_name == owner)
                 .ok_or_else(|| DroneError::UnknownVirtualDrone(owner.clone()))?;
             // Resume from the VDR if stored, otherwise fresh deploy.
-            if let Some(saved) = self.cloud.vdr.take(owner) {
+            // The entry is leased during the deploy: a failure
+            // abandons the lease and the stored drone survives.
+            if let Some(saved) = self.cloud.vdr.checkout(owner) {
                 let manifests = self.manifests_for(order);
-                drone.deploy_from_archive(
-                    &saved.archive,
-                    saved.spec,
-                    &manifests,
-                    &saved.app_state,
-                )?;
+                let spec = saved.resume_spec().unwrap_or_else(|| saved.spec.clone());
+                match drone.deploy_from_archive(&saved.archive, spec, &manifests, &saved.app_state)
+                {
+                    Ok(_) => {
+                        self.cloud.vdr.commit(owner);
+                        // A non-resumable entry redeploys its full
+                        // spec, so its mission progress restarts.
+                        let wp_prior = if saved.resumable() {
+                            saved.waypoints_completed
+                        } else {
+                            0
+                        };
+                        prior.insert(owner.clone(), (wp_prior, saved.flights_flown));
+                    }
+                    Err(e) => {
+                        self.cloud.vdr.abandon(owner);
+                        return Err(e);
+                    }
+                }
             } else {
                 let manifests = self.manifests_for(order);
                 drone.deploy_vdrone(owner, order.spec.clone(), &manifests)?;
@@ -125,7 +143,7 @@ impl Androne {
                 .find(|o| &o.vd_name == owner)
                 .expect("checked above");
             // Collect marked files from the container before export.
-            let (marked, energy_used, completed_all) = {
+            let (marked, energy_used, completed_all, wp_this_flight, remaining_e, remaining_t) = {
                 let vdc = drone.vdc.borrow();
                 let rec = vdc.record(owner);
                 (
@@ -134,6 +152,9 @@ impl Androne {
                         .unwrap_or(0.0),
                     rec.map(|r| r.waypoints_completed() >= r.spec.waypoints.len())
                         .unwrap_or(false),
+                    rec.map(|r| r.waypoints_completed()).unwrap_or(0),
+                    rec.map(|r| r.energy_remaining_j()).unwrap_or(0.0),
+                    rec.map(|r| r.time_remaining_s()).unwrap_or(0.0),
                 )
             };
             let mut files = Vec::new();
@@ -151,7 +172,10 @@ impl Androne {
             self.cloud
                 .complete_flight(&order.user, flight_id, energy_used, files);
 
-            // Save the virtual drone in the VDR.
+            // Save the virtual drone in the VDR with resume
+            // bookkeeping: absolute mission progress and the
+            // allotment left to carry onto the next flight.
+            let (wp_prior, flights_prior) = prior.get(owner).copied().unwrap_or((0, 0));
             let (archive, app_state) = drone.save_vdrone(owner)?;
             self.cloud.vdr.store(SavedVirtualDrone {
                 name: owner.clone(),
@@ -164,6 +188,10 @@ impl Androne {
                 } else {
                     SaveReason::Interrupted
                 },
+                remaining_energy_j: remaining_e,
+                remaining_time_s: remaining_t,
+                waypoints_completed: wp_prior + wp_this_flight,
+                flights_flown: flights_prior + 1,
             });
         }
         Ok(outcome)

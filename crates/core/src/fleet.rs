@@ -1,0 +1,614 @@
+//! The fleet executor: multi-wave, multi-flight service runs under a
+//! [`FleetFaultPlan`].
+//!
+//! The paper's lifecycle (Section 2, Figure 4) spans *waves* of
+//! planning rounds: orders are planned onto physical flights, flights
+//! fly, interrupted virtual drones are saved in the VDR and re-planned
+//! onto the next wave until they complete — or, when the service
+//! cannot complete them, their unserved allotment is refunded. This
+//! module drives that loop deterministically under injected faults on
+//! both failure domains:
+//!
+//! - **drone-side** — each physical flight runs a [`FaultInjector`]
+//!   over `faults.effective_plan(flight_index)` (the flight's own
+//!   events plus the fleet's correlated events);
+//! - **cloud-side** — each wave arms `faults.cloud_armed(wave)` on a
+//!   [`FallibleCloud`], so portal outages queue orders, VDR outages
+//!   defer resumes, and storage outages buffer offloads.
+//!
+//! Everything is a pure function of the config seed and the fault
+//! plan: per-flight kernel seeds are FNV-mixed from
+//! `(seed, wave, flight_index)`, iteration orders are `BTreeMap`
+//! orders, and the RNG streams never observe wall clock. Two runs of
+//! [`execute_fleet`] with equal inputs are bit-identical — the fleet
+//! chaos gate's first invariant.
+
+use std::collections::BTreeMap;
+
+use androne_cloud::{FallibleCloud, PlacedOrder, SaveReason, SavedVirtualDrone};
+use androne_hal::GeoPoint;
+use androne_simkern::{FleetFaultPlan, StateHasher};
+use androne_vdc::{VirtualDroneSpec, WatchdogConfig};
+
+use crate::drone::{Drone, DroneError};
+use crate::flight_exec::{
+    execute_flight_observed, EndReason, FlightLog, FlightObserver,
+};
+use crate::injector::FaultInjector;
+
+/// One customer order in a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetTenant {
+    /// The virtual drone's name (unique across the run).
+    pub vd_name: String,
+    /// The billing account.
+    pub user: String,
+    /// The ordered mission.
+    pub spec: VirtualDroneSpec,
+}
+
+/// Configuration for a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Launch base for every flight.
+    pub base: GeoPoint,
+    /// Root seed; all per-flight seeds derive from it.
+    pub seed: u64,
+    /// Physical drones available per wave.
+    pub fleet_size: usize,
+    /// The tenants to serve.
+    pub tenants: Vec<FleetTenant>,
+    /// Planning rounds before unresolved tenants are refunded.
+    pub max_waves: u64,
+    /// Per-flight simulated-time safety cap, seconds.
+    pub max_sim_seconds: f64,
+    /// VDC watchdog for every flight (`None` disables it).
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+/// How a tenant's order ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantResolution {
+    /// Every waypoint was served; the drone is stored completed.
+    Completed,
+    /// The service could not finish the mission; the unserved energy
+    /// allotment was refunded.
+    Refunded,
+}
+
+/// Per-tenant accounting across the whole run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Billing account.
+    pub user: String,
+    /// Physical flights this tenant rode.
+    pub flights_flown: u32,
+    /// Waypoints completed across all flights.
+    pub waypoints_completed: usize,
+    /// Waypoints ordered.
+    pub waypoints_total: usize,
+    /// Energy allotted at order time, joules.
+    pub energy_allotted_j: f64,
+    /// Energy billed across all flights, joules.
+    pub billed_energy_j: f64,
+    /// Service time billed across all flights, seconds.
+    pub billed_time_s: f64,
+    /// Energy refunded on terminal failure, joules.
+    pub refunded_energy_j: f64,
+    /// Allotment left in the VDR after the final flight, joules.
+    pub remaining_energy_j: f64,
+    /// Time allotment left after the final flight, seconds.
+    pub remaining_time_s: f64,
+    /// Energy on the billing ledger for this tenant's account, joules
+    /// (cross-checks `billed_energy_j`, which is accumulated from the
+    /// VDC's allotment records instead).
+    pub ledger_energy_j: f64,
+    /// Refund on the billing ledger for this tenant's account, joules.
+    pub ledger_refund_j: f64,
+    /// How the order resolved.
+    pub resolution: TenantResolution,
+}
+
+impl TenantOutcome {
+    /// The tenant-visible outcome, folded to bits. Deliberately
+    /// excludes run internals a tenant cannot observe (container
+    /// ids, trace digests of *other* flights): this is the value the
+    /// fleet gate compares between a faulted run and its no-fault
+    /// baseline to prove cross-tenant containment.
+    pub fn outcome_bits(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_str(&self.user);
+        h.write_u32(self.flights_flown);
+        h.write_usize(self.waypoints_completed);
+        h.write_usize(self.waypoints_total);
+        h.write_f64(self.energy_allotted_j);
+        h.write_f64(self.billed_energy_j);
+        h.write_f64(self.billed_time_s);
+        h.write_f64(self.refunded_energy_j);
+        h.write_f64(self.remaining_energy_j);
+        h.write_f64(self.remaining_time_s);
+        h.write_f64(self.ledger_energy_j);
+        h.write_f64(self.ledger_refund_j);
+        h.write_u8(match self.resolution {
+            TenantResolution::Completed => 0,
+            TenantResolution::Refunded => 1,
+        });
+        h.finish()
+    }
+}
+
+/// One executed physical flight.
+#[derive(Debug)]
+pub struct FlightRecord {
+    /// Planning wave the flight flew in.
+    pub wave: u64,
+    /// Global flight index (the fault plan's flight key).
+    pub flight_index: usize,
+    /// Virtual drones aboard, sorted.
+    pub owners: Vec<String>,
+    /// Whether the plan completed (vs. aborted/failsafe).
+    pub completed: bool,
+    /// Why the flight ended.
+    pub end_reason: EndReason,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Battery energy drawn, joules.
+    pub total_energy_j: f64,
+    /// FNV fold of every per-tick component hash — the flight's
+    /// trajectory fingerprint for dual-run comparison.
+    pub trace_digest: u64,
+    /// The injector's action log (arm/disarm decisions).
+    pub injected: Vec<String>,
+}
+
+/// The result of a fleet run.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Every flight flown, in execution order.
+    pub flights: Vec<FlightRecord>,
+    /// Per-tenant accounting, keyed by virtual drone name.
+    pub tenants: BTreeMap<String, TenantOutcome>,
+    /// Waves actually run.
+    pub waves_run: u64,
+    /// The cloud façade's degraded-mode log.
+    pub cloud_log: Vec<String>,
+    /// Simulated backoff the cloud spent in storage retries, ns.
+    pub cloud_backoff_ns: u64,
+}
+
+impl FleetOutcome {
+    /// Folds the entire run to one word: flights (trajectories,
+    /// outcomes, injections), tenants (outcome bits), and the cloud's
+    /// degraded-mode decisions. Equal digests ⇒ bit-identical runs.
+    pub fn fleet_digest(&self) -> u64 {
+        let mut h = StateHasher::new();
+        for f in &self.flights {
+            h.write_u64(f.wave);
+            h.write_usize(f.flight_index);
+            for o in &f.owners {
+                h.write_str(o);
+            }
+            h.write_bool(f.completed);
+            h.write_u8(end_reason_tag(f.end_reason));
+            h.write_f64(f.duration_s);
+            h.write_f64(f.total_energy_j);
+            h.write_u64(f.trace_digest);
+            for a in &f.injected {
+                h.write_str(a);
+            }
+        }
+        for (name, t) in &self.tenants {
+            h.write_str(name);
+            h.write_u64(t.outcome_bits());
+        }
+        h.write_u64(self.waves_run);
+        for line in &self.cloud_log {
+            h.write_str(line);
+        }
+        h.write_u64(self.cloud_backoff_ns);
+        h.finish()
+    }
+}
+
+fn end_reason_tag(r: EndReason) -> u8 {
+    match r {
+        EndReason::Completed => 0,
+        EndReason::EnergyExhausted => 1,
+        EndReason::TimeExhausted => 2,
+        EndReason::Aborted => 3,
+        EndReason::LinkLost => 4,
+        EndReason::WatchdogRevoked => 5,
+    }
+}
+
+/// The per-flight kernel seed: a pure FNV mix of the run seed, the
+/// wave, and the global flight index. No hidden counters — replaying
+/// the same (config, plan) replays the same seeds.
+fn flight_seed(run_seed: u64, wave: u64, flight_index: usize) -> u64 {
+    let mut h = StateHasher::new();
+    h.write_u64(run_seed);
+    h.write_u64(wave);
+    h.write_usize(flight_index);
+    h.finish()
+}
+
+/// Mutable per-tenant bookkeeping while the run is in progress.
+struct TenantState {
+    user: String,
+    spec: VirtualDroneSpec,
+    flights_flown: u32,
+    waypoints_completed: usize,
+    billed_energy_j: f64,
+    billed_time_s: f64,
+    refunded_energy_j: f64,
+    remaining_energy_j: f64,
+    remaining_time_s: f64,
+    resolution: Option<TenantResolution>,
+}
+
+/// Runs the full order → plan → fly → save/resume → refund lifecycle
+/// for `cfg.tenants` under `faults`. See the module docs for the
+/// wave structure and determinism contract.
+pub fn execute_fleet(
+    cfg: &FleetConfig,
+    faults: &FleetFaultPlan,
+) -> Result<FleetOutcome, DroneError> {
+    let mut cloud = FallibleCloud::new();
+    let mut states: BTreeMap<String, TenantState> = cfg
+        .tenants
+        .iter()
+        .map(|t| {
+            (
+                t.vd_name.clone(),
+                TenantState {
+                    user: t.user.clone(),
+                    spec: t.spec.clone(),
+                    flights_flown: 0,
+                    waypoints_completed: 0,
+                    billed_energy_j: 0.0,
+                    billed_time_s: 0.0,
+                    refunded_energy_j: 0.0,
+                    remaining_energy_j: t.spec.energy_allotted,
+                    remaining_time_s: t.spec.max_duration,
+                    resolution: None,
+                },
+            )
+        })
+        .collect();
+
+    let mut flights: Vec<FlightRecord> = Vec::new();
+    let mut flight_counter: usize = 0;
+    let mut next_order_id: u64 = 1;
+    let mut waves_run: u64 = 0;
+
+    for wave in 0..cfg.max_waves {
+        if states.values().all(|s| s.resolution.is_some()) {
+            break;
+        }
+        waves_run = wave + 1;
+        cloud.begin_wave(wave, faults.cloud_armed(wave));
+
+        // Build this wave's candidate orders. Fresh tenants order
+        // their full spec; flown tenants check their saved drone out
+        // of the VDR (a lease — abandoned if the wave fails) and
+        // order the truncated resume spec. A VDR outage leaves the
+        // tenant pending for a later wave; a terminally unresumable
+        // drone is refunded here.
+        let mut orders: Vec<PlacedOrder> = Vec::new();
+        let mut saved_map: BTreeMap<String, SavedVirtualDrone> = BTreeMap::new();
+        let mut refunds: Vec<(String, String, f64)> = Vec::new();
+        for (name, st) in states.iter_mut() {
+            if st.resolution.is_some() {
+                continue;
+            }
+            let spec = if st.flights_flown == 0 {
+                Some(st.spec.clone())
+            } else {
+                match cloud.checkout_saved(name) {
+                    Err(_) | Ok(None) => None,
+                    Ok(Some(saved)) => match saved.resume_spec() {
+                        Some(rspec) => {
+                            saved_map.insert(name.clone(), saved);
+                            Some(rspec)
+                        }
+                        None => {
+                            // Interrupted with nothing left to fly on:
+                            // the entry goes back to storage and the
+                            // unserved remainder is refunded.
+                            let remaining = saved.remaining_energy_j.max(0.0);
+                            cloud.inner.vdr.abandon(name);
+                            refunds.push((st.user.clone(), name.clone(), remaining));
+                            st.refunded_energy_j += remaining;
+                            st.resolution = Some(TenantResolution::Refunded);
+                            None
+                        }
+                    },
+                }
+            };
+            if let Some(spec) = spec {
+                orders.push(PlacedOrder {
+                    order_id: next_order_id,
+                    user: st.user.clone(),
+                    vd_name: name.clone(),
+                    spec,
+                    flexible_schedule: true,
+                });
+                next_order_id += 1;
+            }
+        }
+        for (user, name, remaining) in refunds {
+            cloud.refund_unserved(&user, &name, remaining);
+        }
+        if orders.is_empty() {
+            continue;
+        }
+
+        let plans = match cloud.try_plan_flights(&orders, cfg.base, cfg.fleet_size) {
+            Ok(plans) => plans,
+            Err(_) => {
+                // Planning is down this wave: the façade queued the
+                // orders; leased resumes go back to storage untouched.
+                for name in saved_map.keys() {
+                    cloud.inner.vdr.abandon(name);
+                }
+                continue;
+            }
+        };
+
+        for plan in plans {
+            let mut owners: Vec<String> = plan.legs.iter().map(|l| l.owner.clone()).collect();
+            owners.sort();
+            owners.dedup();
+            // A plan is flyable only if every aboard drone can be
+            // produced this wave: a resume we hold the lease for, or
+            // a fresh tenant deployable from its order spec. Merged
+            // stale queue entries can violate this (e.g. the VDR was
+            // down for that tenant); such plans defer a wave.
+            let flyable = owners.iter().all(|o| {
+                saved_map.contains_key(o)
+                    || states
+                        .get(o)
+                        .is_some_and(|s| s.flights_flown == 0 && s.resolution.is_none())
+            });
+            if !flyable {
+                cloud
+                    .log
+                    .push(format!("wave {wave}: plan deferred, unavailable drone aboard"));
+                continue;
+            }
+
+            let seed = flight_seed(cfg.seed, wave, flight_counter);
+            let mut drone = Drone::boot(cfg.base, seed)?;
+            let mut prior: BTreeMap<String, (usize, u32)> = BTreeMap::new();
+            // Leases are committed only once every tenant is aboard:
+            // a deploy failure (e.g. the board out of container
+            // memory) scraps the whole flight, releases the leases,
+            // and defers its tenants to the next wave instead of
+            // killing the run.
+            let mut leased: Vec<String> = Vec::new();
+            let mut scrapped: Option<(String, DroneError)> = None;
+            for owner in &owners {
+                if let Some(saved) = saved_map.remove(owner) {
+                    let spec = saved.resume_spec().unwrap_or_else(|| saved.spec.clone());
+                    leased.push(owner.clone());
+                    match drone.deploy_from_archive(&saved.archive, spec, &[], &saved.app_state)
+                    {
+                        Ok(_) => {
+                            let wp = if saved.resumable() {
+                                saved.waypoints_completed
+                            } else {
+                                0
+                            };
+                            prior.insert(owner.clone(), (wp, saved.flights_flown));
+                        }
+                        Err(e) => {
+                            scrapped = Some((owner.clone(), e));
+                            break;
+                        }
+                    }
+                } else if let Some(st) = states.get(owner) {
+                    match drone.deploy_vdrone(owner, st.spec.clone(), &[]) {
+                        Ok(_) => {
+                            prior.insert(owner.clone(), (0, 0));
+                        }
+                        Err(e) => {
+                            scrapped = Some((owner.clone(), e));
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(DroneError::UnknownVirtualDrone(owner.clone()));
+                }
+            }
+            if let Some((owner, e)) = scrapped {
+                for name in &leased {
+                    cloud.inner.vdr.abandon(name);
+                }
+                cloud.log.push(format!(
+                    "wave {wave}: flight scrapped, {owner} failed to deploy ({e}); tenants deferred"
+                ));
+                continue;
+            }
+            for name in &leased {
+                cloud.inner.vdr.commit(name);
+            }
+            drone.vdc.borrow_mut().set_watchdog(cfg.watchdog);
+
+            let flight_id = cloud.inner.new_flight_id();
+            let mut injector = FaultInjector::new(faults.effective_plan(flight_counter));
+            let mut digest = StateHasher::new();
+            let outcome = {
+                let observer: FlightObserver<'_> = Box::new(|tick, d: &mut Drone| {
+                    injector.apply_tick(tick, d);
+                    digest.write_u64(tick);
+                    for (component, hash) in d.component_hashes() {
+                        digest.write_str(component);
+                        digest.write_u64(hash);
+                    }
+                });
+                execute_flight_observed(
+                    &mut drone,
+                    plan,
+                    cfg.max_sim_seconds,
+                    None,
+                    Some(observer),
+                )
+            };
+
+            // Post-flight bookkeeping per aboard drone.
+            for owner in &owners {
+                // A crash window that crossed the flight's end leaves
+                // its checkpoint pending; restore before saving.
+                if drone.pending_restarts.contains_key(owner) {
+                    drone.supervised_restart_vdrone(owner)?;
+                }
+                let (files, energy_used, time_used, completed_all, wp_flight, rem_e, rem_t) = {
+                    let vdc = drone.vdc.borrow();
+                    let rec = vdc.record(owner);
+                    (
+                        rec.map(|r| r.marked_files.clone()).unwrap_or_default(),
+                        rec.map(|r| r.spec.energy_allotted - r.energy_remaining_j())
+                            .unwrap_or(0.0),
+                        rec.map(|r| r.spec.max_duration - r.time_remaining_s())
+                            .unwrap_or(0.0),
+                        rec.map(|r| r.waypoints_completed() >= r.spec.waypoints.len())
+                            .unwrap_or(false),
+                        rec.map(|r| r.waypoints_completed()).unwrap_or(0),
+                        rec.map(|r| r.energy_remaining_j()).unwrap_or(0.0),
+                        rec.map(|r| r.time_remaining_s()).unwrap_or(0.0),
+                    )
+                };
+                let file_data: Vec<(String, bytes::Bytes)> = files
+                    .into_iter()
+                    .map(|path| {
+                        let data = drone
+                            .runtime
+                            .get(owner)
+                            .and_then(|c| c.fs.read(&path))
+                            .unwrap_or_else(|| bytes::Bytes::from_static(b""));
+                        (path, data)
+                    })
+                    .collect();
+                let revoked = outcome.log.iter().any(|e| {
+                    matches!(
+                        e,
+                        FlightLog::WaypointEnd {
+                            owner: o,
+                            reason: EndReason::WatchdogRevoked,
+                            ..
+                        } if o == owner
+                    )
+                });
+                let (wp_prior, flights_prior) = prior.get(owner).copied().unwrap_or((0, 0));
+                let Some(st) = states.get_mut(owner) else {
+                    return Err(DroneError::UnknownVirtualDrone(owner.clone()));
+                };
+                cloud.try_complete_flight(&st.user, flight_id, energy_used, file_data);
+                st.flights_flown = flights_prior + 1;
+                st.waypoints_completed = wp_prior + wp_flight;
+                st.billed_energy_j += energy_used;
+                st.billed_time_s += time_used;
+                st.remaining_energy_j = rem_e;
+                st.remaining_time_s = rem_t;
+
+                let (archive, app_state) = drone.save_vdrone(owner)?;
+                cloud.inner.vdr.store(SavedVirtualDrone {
+                    name: owner.clone(),
+                    owner: st.user.clone(),
+                    spec: st.spec.clone(),
+                    archive,
+                    app_state,
+                    reason: if completed_all {
+                        SaveReason::Completed
+                    } else {
+                        SaveReason::Interrupted
+                    },
+                    remaining_energy_j: rem_e,
+                    remaining_time_s: rem_t,
+                    waypoints_completed: wp_prior + wp_flight,
+                    flights_flown: flights_prior + 1,
+                });
+                if completed_all {
+                    st.resolution = Some(TenantResolution::Completed);
+                } else if revoked {
+                    // Policy enforcement is terminal: the watchdog
+                    // revoked this drone, so it is not rescheduled;
+                    // its unserved remainder is refunded.
+                    st.refunded_energy_j += rem_e;
+                    st.resolution = Some(TenantResolution::Refunded);
+                    let user = st.user.clone();
+                    cloud.refund_unserved(&user, owner, rem_e);
+                }
+            }
+
+            flights.push(FlightRecord {
+                wave,
+                flight_index: flight_counter,
+                owners,
+                completed: outcome.completed,
+                end_reason: outcome.end_reason,
+                duration_s: outcome.duration_s,
+                total_energy_j: outcome.total_energy_j,
+                trace_digest: digest.finish(),
+                injected: injector.actions().to_vec(),
+            });
+            flight_counter += 1;
+        }
+        // Leased drones whose plans were deferred go back to storage.
+        for name in saved_map.keys() {
+            cloud.inner.vdr.abandon(name);
+        }
+    }
+
+    // End-of-run sweep: whatever is still pending could not be served
+    // within the wave budget — refund the unserved remainder (the
+    // full allotment if it never flew). Interrupted entries stay in
+    // the VDR: the customer's drone itself is never lost.
+    for (name, st) in states.iter_mut() {
+        if st.resolution.is_some() {
+            continue;
+        }
+        let remaining = if st.flights_flown == 0 {
+            st.spec.energy_allotted
+        } else {
+            st.remaining_energy_j
+        };
+        cloud.refund_unserved(&st.user, name, remaining);
+        st.refunded_energy_j += remaining;
+        st.resolution = Some(TenantResolution::Refunded);
+    }
+
+    let tenants = states
+        .into_iter()
+        .map(|(name, st)| {
+            let resolution = st.resolution.unwrap_or(TenantResolution::Refunded);
+            let bill = cloud.inner.billing.bill(&st.user);
+            (
+                name,
+                TenantOutcome {
+                    user: st.user,
+                    flights_flown: st.flights_flown,
+                    waypoints_completed: st.waypoints_completed,
+                    waypoints_total: st.spec.waypoints.len(),
+                    energy_allotted_j: st.spec.energy_allotted,
+                    billed_energy_j: st.billed_energy_j,
+                    billed_time_s: st.billed_time_s,
+                    refunded_energy_j: st.refunded_energy_j,
+                    remaining_energy_j: st.remaining_energy_j,
+                    remaining_time_s: st.remaining_time_s,
+                    ledger_energy_j: bill.energy_j,
+                    ledger_refund_j: bill.energy_refund_j,
+                    resolution,
+                },
+            )
+        })
+        .collect();
+
+    Ok(FleetOutcome {
+        flights,
+        tenants,
+        waves_run,
+        cloud_log: cloud.log.clone(),
+        cloud_backoff_ns: cloud.backoff_spent.as_nanos(),
+    })
+}

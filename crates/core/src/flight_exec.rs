@@ -146,6 +146,10 @@ pub fn execute_flight_observed(
         last_forwarded: u64,
         denied_at_start: u64,
         stall_secs: u64,
+        // Progress watchdog: VDC heartbeat count at last observation
+        // and seconds spent forwarding commands without a new mark.
+        last_progress: u64,
+        busy_no_progress_secs: u64,
     }
 
     let max_steps = (max_sim_seconds * 400.0) as u64;
@@ -185,6 +189,12 @@ pub fn execute_flight_observed(
                         flight_control,
                     });
                     let (fwd, den) = drone.proxy.client_activity(&owner).unwrap_or((0, 0));
+                    let progress = drone
+                        .vdc
+                        .borrow()
+                        .record(&owner)
+                        .map(|r| r.progress_marks())
+                        .unwrap_or(0);
                     active = Some(ActiveService {
                         owner,
                         wp_index,
@@ -193,6 +203,8 @@ pub fn execute_flight_observed(
                         last_forwarded: fwd,
                         denied_at_start: den,
                         stall_secs: 0,
+                        last_progress: progress,
+                        busy_no_progress_secs: 0,
                     });
                 }
                 PilotEvent::EnergyExhausted { .. } => {
@@ -281,14 +293,36 @@ pub fn execute_flight_observed(
             if let (Some(cfg), Some(a)) = (watchdog_cfg, active.as_mut()) {
                 if a.end_reason == EndReason::Completed {
                     if let Some((fwd, den)) = drone.proxy.client_activity(&a.owner) {
+                        let progress = drone
+                            .vdc
+                            .borrow()
+                            .record(&a.owner)
+                            .map(|r| r.progress_marks())
+                            .unwrap_or(0);
                         if fwd == a.last_forwarded {
                             a.stall_secs += 1;
                         } else {
                             a.stall_secs = 0;
                             a.last_forwarded = fwd;
+                            // Commands flowed this second: the stall
+                            // signal is blind, the progress signal
+                            // is not.
+                            if progress == a.last_progress {
+                                a.busy_no_progress_secs += 1;
+                            }
+                        }
+                        if progress != a.last_progress {
+                            a.last_progress = progress;
+                            a.busy_no_progress_secs = 0;
                         }
                         let violations = den.saturating_sub(a.denied_at_start);
-                        if a.stall_secs >= cfg.stall_timeout_s || violations > cfg.max_denials {
+                        let busy_loop = cfg
+                            .progress_timeout_s
+                            .is_some_and(|t| a.busy_no_progress_secs >= t);
+                        if a.stall_secs >= cfg.stall_timeout_s
+                            || violations > cfg.max_denials
+                            || busy_loop
+                        {
                             a.end_reason = EndReason::WatchdogRevoked;
                             revoked.insert(a.owner.clone());
                             drone.vdc.borrow_mut().on_watchdog_revoked(&a.owner);

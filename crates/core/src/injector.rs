@@ -55,7 +55,10 @@ impl FaultInjector {
         }
         let transitions = self.clock.transitions_at(tick);
         for t in transitions {
-            let kind = self.clock.plan().events[t.index].kind;
+            let Some(kind) = self.clock.plan().events.get(t.index).map(|e| e.kind.clone())
+            else {
+                continue;
+            };
             self.apply_transition(tick, kind, t.armed, drone);
         }
     }
@@ -125,13 +128,26 @@ impl FaultInjector {
                 self.actions
                     .push(format!("t={tick} {verb} binder-timeout/{period}"));
             }
-            FaultKind::ContainerCrash => {
-                // The first deployed virtual drone (BTreeMap order)
-                // crashes; disarm performs the supervised restart.
-                let Some(name) = drone.vdrones.keys().next().cloned() else {
-                    self.actions
-                        .push(format!("t={tick} {verb} container-crash: no vdrones"));
-                    return;
+            FaultKind::ContainerCrash { target } => {
+                // A named target crashes that virtual drone; `None`
+                // falls back to the first deployed one (BTreeMap
+                // order). Disarm performs the supervised restart.
+                let name = match target {
+                    Some(t) if drone.vdrones.contains_key(&t) => t,
+                    Some(t) => {
+                        self.actions.push(format!(
+                            "t={tick} {verb} container-crash {t}: not deployed"
+                        ));
+                        return;
+                    }
+                    None => match drone.vdrones.keys().next().cloned() {
+                        Some(first) => first,
+                        None => {
+                            self.actions
+                                .push(format!("t={tick} {verb} container-crash: no vdrones"));
+                            return;
+                        }
+                    },
                 };
                 let outcome = if armed {
                     drone.crash_vdrone(&name)

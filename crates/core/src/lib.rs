@@ -25,12 +25,17 @@
 
 pub mod androne;
 pub mod drone;
+pub mod fleet;
 pub mod flight_exec;
 pub mod injector;
 pub mod sanitizer;
 
 pub use androne::Androne;
 pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_IMAGE};
+pub use fleet::{
+    execute_fleet, FleetConfig, FleetOutcome, FleetTenant, FlightRecord, TenantOutcome,
+    TenantResolution,
+};
 pub use flight_exec::{
     execute_flight, execute_flight_observed, EndReason, FlightLog, FlightObserver, FlightOutcome,
 };

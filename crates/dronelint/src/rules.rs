@@ -19,6 +19,8 @@ const R3_FILES: &[&str] = &[
     "crates/mavlink/src/codec.rs",
     "crates/sdk/src/retry.rs",
     "crates/core/src/injector.rs",
+    "crates/core/src/fleet.rs",
+    "crates/cloud/src/facade.rs",
     "crates/simkern/src/faults.rs",
     "crates/hal/src/faults.rs",
 ];

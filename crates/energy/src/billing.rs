@@ -43,6 +43,9 @@ impl PriceSchedule {
 pub struct Bill {
     /// Drone energy consumed, joules.
     pub energy_j: f64,
+    /// Drone energy refunded (unserved allotment on a terminally
+    /// failed order), joules.
+    pub energy_refund_j: f64,
     /// Cloud storage used, GB-months.
     pub storage_gb_months: f64,
     /// Network transfer, GB.
@@ -50,9 +53,14 @@ pub struct Bill {
 }
 
 impl Bill {
+    /// Energy the customer actually pays for, joules.
+    pub fn net_energy_j(&self) -> f64 {
+        (self.energy_j - self.energy_refund_j).max(0.0)
+    }
+
     /// Total in cents under a schedule.
     pub fn total_cents(&self, prices: &PriceSchedule) -> f64 {
-        self.energy_j / 1_000.0 * prices.cents_per_kj
+        self.net_energy_j() / 1_000.0 * prices.cents_per_kj
             + self.storage_gb_months * prices.cents_per_gb_month
             + self.transfer_gb * prices.cents_per_gb_transfer
     }
@@ -73,6 +81,16 @@ impl BillingLedger {
     /// Records drone energy use for an account.
     pub fn charge_energy(&mut self, account: &str, joules: f64) {
         self.bills.entry(account.to_string()).or_default().energy_j += joules.max(0.0);
+    }
+
+    /// Credits energy back to an account (an order the service could
+    /// not complete: the virtual drone was terminally interrupted and
+    /// never resumed).
+    pub fn refund_energy(&mut self, account: &str, joules: f64) {
+        self.bills
+            .entry(account.to_string())
+            .or_default()
+            .energy_refund_j += joules.max(0.0);
     }
 
     /// Records storage use.
@@ -117,6 +135,18 @@ mod tests {
         ledger.charge_transfer("alice", 1.0);
         let total = ledger.bill("alice").total_cents(&p);
         assert!((total - (25.0 + 4.0 + 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refunds_credit_energy_but_never_go_negative() {
+        let p = PriceSchedule::default_schedule();
+        let mut ledger = BillingLedger::new();
+        ledger.charge_energy("alice", 10_000.0);
+        ledger.refund_energy("alice", 4_000.0);
+        assert!((ledger.bill("alice").net_energy_j() - 6_000.0).abs() < 1e-9);
+        ledger.refund_energy("alice", 100_000.0);
+        assert_eq!(ledger.bill("alice").net_energy_j(), 0.0);
+        assert!((ledger.bill("alice").total_cents(&p) - 0.0).abs() < 1e-9);
     }
 
     #[test]

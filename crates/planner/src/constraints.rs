@@ -13,7 +13,11 @@
 //!   same route with `a` visited before `b`;
 //! - **grouping**: sets of task indices that must be visited
 //!   contiguously on one route (no other party's waypoints
-//!   interleaved).
+//!   interleaved);
+//! - **party capacity**: at most N distinct parties (virtual drones)
+//!   per route — a physical drone's board memory hosts only so many
+//!   185 MiB virtual-drone containers (Figure 12), so an
+//!   energy-feasible route can still be memory-infeasible.
 //!
 //! Constraints are enforced by a deterministic repair pass applied
 //! to every candidate the annealer evaluates, so accepted solutions
@@ -29,6 +33,14 @@ pub struct RouteConstraints {
     pub ordered: Vec<(usize, usize)>,
     /// Each group's tasks ride one route, contiguously.
     pub groups: Vec<Vec<usize>>,
+    /// Parties for the capacity cap: each inner vec is one party's
+    /// task indices. Unlike [`groups`](Self::groups), parties carry
+    /// no contiguity requirement — they only count against
+    /// [`max_parties_per_route`](Self::max_parties_per_route).
+    pub parties: Vec<Vec<usize>>,
+    /// Maximum distinct parties one route may host (a physical
+    /// drone's virtual-drone container capacity). `None` = unlimited.
+    pub max_parties_per_route: Option<usize>,
 }
 
 impl RouteConstraints {
@@ -52,9 +64,26 @@ impl RouteConstraints {
         self
     }
 
+    /// Convenience: cap routes at `cap` distinct parties, where each
+    /// entry of `parties` lists one party's task indices.
+    pub fn with_party_capacity(mut self, parties: Vec<Vec<usize>>, cap: usize) -> Self {
+        self.parties = parties;
+        self.max_parties_per_route = Some(cap);
+        self
+    }
+
+    /// Whether the capacity cap can actually bind: fewer parties
+    /// than the cap can never violate it, so the constraint is inert
+    /// and the unconstrained (bit-identical legacy) solve path is
+    /// taken.
+    fn capacity_active(&self) -> bool {
+        self.max_parties_per_route
+            .is_some_and(|cap| self.parties.len() > cap)
+    }
+
     /// Whether there is anything to enforce.
     pub fn is_empty(&self) -> bool {
-        self.ordered.is_empty() && self.groups.is_empty()
+        self.ordered.is_empty() && self.groups.is_empty() && !self.capacity_active()
     }
 
     /// Checks a solution, returning the first violation found.
@@ -101,7 +130,30 @@ impl RouteConstraints {
                 return Err(ConstraintViolation::GroupInterleaved { group: gi });
             }
         }
+        if self.capacity_active() {
+            let cap = self.max_parties_per_route.unwrap_or(usize::MAX).max(1);
+            for (r, route) in sol.routes.iter().enumerate() {
+                let hosted = self.parties_on(route);
+                if hosted.len() > cap {
+                    return Err(ConstraintViolation::RouteOverCapacity {
+                        route: r,
+                        parties: hosted.len(),
+                    });
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Distinct party indices with at least one stop on `route`, in
+    /// ascending party order.
+    fn parties_on(&self, route: &Route) -> Vec<usize> {
+        self.parties
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| route.stops.iter().any(|s| p.contains(s)))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Repairs a solution in place so every constraint holds.
@@ -204,6 +256,59 @@ impl RouteConstraints {
                 break;
             }
         }
+
+        // Enforce the party-capacity cap last, so the earlier passes
+        // cannot re-violate it. Each step evicts one whole party from
+        // an over-capacity route onto a route that either already
+        // hosts it or has spare capacity (opening a fresh route as a
+        // last resort), so the total excess strictly decreases and
+        // the pass terminates. Eviction appends the party's stops as
+        // a block in visit order; intra-party ordering pairs survive,
+        // cross-party ordering does not compose with capacity.
+        if self.capacity_active() {
+            let cap = self.max_parties_per_route.unwrap_or(usize::MAX).max(1);
+            while let Some((r, hosted)) = sol
+                .routes
+                .iter()
+                .map(|route| self.parties_on(route))
+                .enumerate()
+                .find(|(_, hosted)| hosted.len() > cap)
+            {
+                // Victim: the hosted party with the fewest stops on
+                // this route (ties to the lowest party index).
+                let stops_of = |party: usize, route: &Route| -> Vec<usize> {
+                    route
+                        .stops
+                        .iter()
+                        .copied()
+                        .filter(|s| self.parties[party].contains(s))
+                        .collect()
+                };
+                let victim = hosted
+                    .iter()
+                    .copied()
+                    .min_by_key(|&p| stops_of(p, &sol.routes[r]).len())
+                    .unwrap_or(hosted[0]);
+                // Destination: a route already hosting the victim,
+                // else the fullest route still under the cap, else a
+                // fresh route.
+                let dest = sol
+                    .routes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(d, _)| d != r)
+                    .map(|(d, route)| (d, self.parties_on(route)))
+                    .filter(|(_, h)| h.contains(&victim) || h.len() < cap)
+                    .max_by_key(|(d, h)| (h.contains(&victim), h.len(), usize::MAX - d))
+                    .map(|(d, _)| d);
+                let moved = stops_of(victim, &sol.routes[r]);
+                sol.routes[r].stops.retain(|s| !moved.contains(s));
+                match dest {
+                    Some(d) => sol.routes[d].stops.extend(moved),
+                    None => sol.routes.push(Route { stops: moved }),
+                }
+            }
+        }
         sol.routes.retain(|r| !r.stops.is_empty());
     }
 
@@ -241,6 +346,13 @@ pub enum ConstraintViolation {
         /// Index into [`RouteConstraints::groups`].
         group: usize,
     },
+    /// A route hosts more parties than the capacity cap allows.
+    RouteOverCapacity {
+        /// Index into the solution's routes.
+        route: usize,
+        /// Distinct parties the route hosts.
+        parties: usize,
+    },
 }
 
 impl std::fmt::Display for ConstraintViolation {
@@ -257,6 +369,9 @@ impl std::fmt::Display for ConstraintViolation {
             }
             ConstraintViolation::GroupInterleaved { group } => {
                 write!(f, "group {group} interleaved with other tasks")
+            }
+            ConstraintViolation::RouteOverCapacity { route, parties } => {
+                write!(f, "route {route} hosts {parties} parties, over capacity")
             }
         }
     }
@@ -348,6 +463,51 @@ mod tests {
         c.repair(&mut s);
         c.check(&s).unwrap();
         assert_eq!(s.routes[0].stops, vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn capacity_with_slack_is_inert() {
+        // Three parties, cap three: the constraint can never bind,
+        // so the legacy unconstrained solve path stays bit-identical.
+        let c = RouteConstraints::none()
+            .with_party_capacity(vec![vec![0], vec![1], vec![2]], 3);
+        assert!(c.is_empty());
+        c.check(&sol(&[&[0, 1, 2]])).unwrap();
+    }
+
+    #[test]
+    fn check_flags_over_capacity_routes() {
+        let c = RouteConstraints::none()
+            .with_party_capacity(vec![vec![0], vec![1], vec![2], vec![3]], 3);
+        assert!(!c.is_empty());
+        c.check(&sol(&[&[0, 1, 2], &[3]])).unwrap();
+        assert_eq!(
+            c.check(&sol(&[&[0, 1, 2, 3]])),
+            Err(ConstraintViolation::RouteOverCapacity { route: 0, parties: 4 })
+        );
+    }
+
+    #[test]
+    fn repair_evicts_surplus_parties() {
+        // Four single-task parties jammed onto one route, cap 3: the
+        // smallest party is evicted onto a route with headroom.
+        let c = RouteConstraints::none()
+            .with_party_capacity(vec![vec![0, 4], vec![1], vec![2], vec![3]], 3);
+        let mut s = sol(&[&[0, 1, 2, 3, 4], &[]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        let all: usize = s.routes.iter().map(|r| r.stops.len()).sum();
+        assert_eq!(all, 5, "no task lost");
+    }
+
+    #[test]
+    fn repair_opens_a_route_when_no_destination_fits() {
+        let c = RouteConstraints::none()
+            .with_party_capacity(vec![vec![0], vec![1], vec![2], vec![3]], 1);
+        let mut s = sol(&[&[0, 1], &[2, 3]]);
+        c.repair(&mut s);
+        c.check(&s).unwrap();
+        assert_eq!(s.routes.len(), 4, "each party gets its own route");
     }
 
     #[test]

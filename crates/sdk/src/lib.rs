@@ -13,5 +13,8 @@ pub mod sdk;
 
 pub use cli::run_command;
 pub use listener::{RecordingListener, WaypointListener};
-pub use retry::{get_service_with_retry, transact_with_retry, RetryError, RetryPolicy};
+pub use retry::{
+    get_service_with_retry, retry_with_backoff, transact_with_retry, RetryError, RetryFailure,
+    RetryPolicy,
+};
 pub use sdk::AndroneSdk;

@@ -66,6 +66,47 @@ impl std::fmt::Display for RetryError {
 
 impl std::error::Error for RetryError {}
 
+/// The typed failure of a retried call over any error type — the
+/// generic shape behind [`RetryError`], reused by non-Binder callers
+/// (the cloud façade retries storage writes with it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryFailure<E> {
+    /// Every attempt failed with a retryable error; `last` is the
+    /// final one.
+    Exhausted { attempts: u32, last: E },
+    /// The call failed with an error retrying cannot fix, surfaced
+    /// immediately.
+    Fatal(E),
+}
+
+/// Runs `call` under `policy` for any error type. `retryable`
+/// classifies errors worth another attempt; `call` receives the
+/// 1-based attempt number; `on_backoff` is invoked with each backoff
+/// delay before a retry — callers advance simulated time (or just
+/// count) there. Fully deterministic: no jitter, no wall clock.
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    retryable: impl Fn(&E) -> bool,
+    mut call: impl FnMut(u32) -> Result<T, E>,
+    on_backoff: &mut dyn FnMut(SimDuration),
+) -> Result<T, RetryFailure<E>> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match call(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if retryable(&e) && attempt < attempts => {
+                on_backoff(policy.backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) if retryable(&e) => {
+                return Err(RetryFailure::Exhausted { attempts, last: e })
+            }
+            Err(e) => return Err(RetryFailure::Fatal(e)),
+        }
+    }
+}
+
 /// Whether an error class can plausibly clear on retry: transient
 /// transaction failures, timeouts, a service not (re)registered yet,
 /// or a remote that died and is being supervised back up.
@@ -87,21 +128,10 @@ fn with_retry<T>(
     mut call: impl FnMut() -> Result<T, BinderError>,
     on_backoff: &mut dyn FnMut(SimDuration),
 ) -> Result<T, RetryError> {
-    let attempts = policy.max_attempts.max(1);
-    let mut last = BinderError::TimedOut;
-    for attempt in 1..=attempts {
-        match call() {
-            Ok(v) => return Ok(v),
-            Err(e) if retryable(&e) => {
-                last = e;
-                if attempt < attempts {
-                    on_backoff(policy.backoff(attempt));
-                }
-            }
-            Err(e) => return Err(RetryError::Fatal(e)),
-        }
-    }
-    Err(RetryError::Exhausted { attempts, last })
+    retry_with_backoff(policy, retryable, |_| call(), on_backoff).map_err(|e| match e {
+        RetryFailure::Exhausted { attempts, last } => RetryError::Exhausted { attempts, last },
+        RetryFailure::Fatal(e) => RetryError::Fatal(e),
+    })
 }
 
 /// [`androne_binder::get_service`] with retry: looks up `name` in the
@@ -200,6 +230,47 @@ mod tests {
             }
             other => panic!("expected Exhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn generic_retry_passes_attempt_numbers_and_classifies() {
+        #[derive(Debug, PartialEq, Eq, Clone)]
+        enum E {
+            Transient,
+            Hard,
+        }
+        let mut seen = Vec::new();
+        let out = retry_with_backoff(
+            &RetryPolicy::default(),
+            |e| *e == E::Transient,
+            |attempt| {
+                seen.push(attempt);
+                if attempt < 3 {
+                    Err(E::Transient)
+                } else {
+                    Ok("done")
+                }
+            },
+            &mut |_| {},
+        );
+        assert_eq!(out, Ok("done"));
+        assert_eq!(seen, vec![1, 2, 3]);
+
+        let out: Result<(), _> = retry_with_backoff(
+            &RetryPolicy::default(),
+            |e| *e == E::Transient,
+            |_| Err(E::Hard),
+            &mut |_| {},
+        );
+        assert_eq!(out, Err(RetryFailure::Fatal(E::Hard)));
+
+        let out: Result<(), _> = retry_with_backoff(
+            &RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+            |e| *e == E::Transient,
+            |_| Err(E::Transient),
+            &mut |_| {},
+        );
+        assert_eq!(out, Err(RetryFailure::Exhausted { attempts: 2, last: E::Transient }));
     }
 
     #[test]

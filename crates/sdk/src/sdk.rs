@@ -51,6 +51,14 @@ impl AndroneSdk {
         self.vdc.borrow_mut().waypoint_completed(&self.vd_name);
     }
 
+    /// `reportProgress()`: heartbeat for long waypoint tasks. Apps
+    /// call this periodically while working; the flight watchdog
+    /// revokes a virtual drone that keeps issuing commands without
+    /// progress once `WatchdogConfig::progress_timeout_s` elapses.
+    pub fn report_progress(&self) {
+        self.vdc.borrow_mut().report_progress(&self.vd_name);
+    }
+
     /// `getFlightControllerIP()`: where to connect for the virtual
     /// flight controller. Every virtual drone sees the same
     /// VPN-local address; the per-container tunnel routes it to its

@@ -53,7 +53,10 @@ impl StateHash for SensorChannel {
 }
 
 /// A typed fault the injector can arm on the simulated system.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: a [`FaultKind::ContainerCrash`] may carry the name of
+/// the virtual drone it targets.
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
     /// The sensor stops producing samples entirely.
     SensorDropout { channel: SensorChannel },
@@ -73,8 +76,10 @@ pub enum FaultKind {
     /// Every `period`-th Binder transaction times out.
     BinderTimeout { period: u32 },
     /// A virtual-drone container crashes; on disarm it is restarted
-    /// from its checkpoint under supervision.
-    ContainerCrash,
+    /// from its checkpoint under supervision. `target` names the
+    /// virtual drone to crash; `None` falls back to the first
+    /// deployed one (legacy single-tenant plans).
+    ContainerCrash { target: Option<String> },
     /// Battery cells degrade: the pack delivers each joule of thrust
     /// at `1/health` times the electrical cost.
     BatteryDegradation { health: f64 },
@@ -91,7 +96,7 @@ impl FaultKind {
             FaultKind::LinkBurstLoss { .. } => 5,
             FaultKind::BinderFailure { .. } => 6,
             FaultKind::BinderTimeout { .. } => 7,
-            FaultKind::ContainerCrash => 8,
+            FaultKind::ContainerCrash { .. } => 8,
             FaultKind::BatteryDegradation { .. } => 9,
         }
     }
@@ -108,7 +113,16 @@ impl StateHash for FaultKind {
                 channel.state_hash(h);
                 h.write_f64(*bias);
             }
-            FaultKind::GpsLoss | FaultKind::LinkPartition | FaultKind::ContainerCrash => {}
+            FaultKind::GpsLoss | FaultKind::LinkPartition => {}
+            FaultKind::ContainerCrash { target } => {
+                match target {
+                    Some(name) => {
+                        h.write_u8(1);
+                        h.write_str(name);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
             FaultKind::LinkBurstLoss { burst } => {
                 h.write_f64(burst.p_good_to_bad);
                 h.write_f64(burst.p_bad_to_good);
@@ -126,7 +140,7 @@ impl StateHash for FaultKind {
 /// One scheduled fault: arms at `arm_tick` (inclusive) and disarms
 /// at `disarm_tick` (exclusive). Ticks are the per-second observer
 /// ticks of the flight loop, i.e. whole simulated seconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     pub kind: FaultKind,
     pub arm_tick: u64,
@@ -167,6 +181,17 @@ impl FaultPlan {
     /// Generates a random plan for a flight of `horizon_ticks`
     /// seconds from a dedicated RNG stream seeded by `seed` alone.
     pub fn generate(seed: u64, horizon_ticks: u64) -> FaultPlan {
+        // No targets: container crashes fall back to the first
+        // deployed virtual drone. The draw sequence is identical to
+        // the targeted variant with an empty set, so plans generated
+        // before targeting existed reproduce bit-for-bit.
+        Self::generate_targeted(seed, horizon_ticks, &[])
+    }
+
+    /// Like [`FaultPlan::generate`], but container-crash events pick
+    /// their victim deterministically from `targets` (the set of
+    /// virtual drones expected on the flight).
+    pub fn generate_targeted(seed: u64, horizon_ticks: u64, targets: &[String]) -> FaultPlan {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17_7C0D_E5EE_D000);
         let horizon = horizon_ticks.max(12);
         let count = rng.gen_range(2..=5);
@@ -187,7 +212,7 @@ impl FaultPlan {
                 7 => FaultKind::BinderTimeout { period: rng.gen_range(2..6) },
                 8 if !crash_used => {
                     crash_used = true;
-                    FaultKind::ContainerCrash
+                    FaultKind::ContainerCrash { target: Self::pick_target(&mut rng, targets) }
                 }
                 8 => FaultKind::GpsLoss,
                 _ => FaultKind::BatteryDegradation { health: rng.gen_range(0.6..0.95) },
@@ -200,6 +225,17 @@ impl FaultPlan {
             events.push(FaultEvent { kind, arm_tick, disarm_tick: arm_tick + duration });
         }
         FaultPlan { seed, events }
+    }
+
+    /// Draws a crash victim from `targets`; `None` (first-deployed
+    /// fallback) when the set is empty. Drawing only on a non-empty
+    /// set keeps legacy `generate` sequences unchanged.
+    fn pick_target(rng: &mut SmallRng, targets: &[String]) -> Option<String> {
+        if targets.is_empty() {
+            None
+        } else {
+            targets.get(rng.gen_range(0..targets.len())).cloned()
+        }
     }
 
     fn pick_channel(rng: &mut SmallRng) -> SensorChannel {
@@ -221,6 +257,271 @@ impl StateHash for FaultPlan {
         h.write_u64(self.seed);
         h.write_usize(self.events.len());
         for e in &self.events {
+            e.state_hash(h);
+        }
+    }
+}
+
+/// A cloud-side fault: the failure domain is the AnDrone service
+/// itself (portal, planner, repository, storage), not the drone.
+///
+/// Cloud faults are windowed by fleet *wave* (one planning round =
+/// one batch of physical flights), not by simulated tick: the cloud
+/// is consulted between flights, so a finer clock would never be
+/// observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudFaultKind {
+    /// The customer portal is down: order intake and flight planning
+    /// are unavailable for the wave; pending orders queue.
+    PortalDown,
+    /// The virtual-drone repository is unreachable: interrupted
+    /// drones cannot be checked out for resume this wave.
+    VdrUnavailable,
+    /// Cloud object storage rejects writes. The first
+    /// `transient_failures` attempts of an offload fail (exercising
+    /// the deterministic retry/backoff path); if retries are
+    /// exhausted the offload buffers on-drone and drains on heal.
+    StorageWriteFail { transient_failures: u32 },
+    /// The flight planner rejects the wave's solution (capacity
+    /// exhausted); orders stay queued for the next wave.
+    PlannerReject,
+}
+
+impl CloudFaultKind {
+    fn tag(&self) -> u8 {
+        match self {
+            CloudFaultKind::PortalDown => 0,
+            CloudFaultKind::VdrUnavailable => 1,
+            CloudFaultKind::StorageWriteFail { .. } => 2,
+            CloudFaultKind::PlannerReject => 3,
+        }
+    }
+}
+
+impl StateHash for CloudFaultKind {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u8(self.tag());
+        if let CloudFaultKind::StorageWriteFail { transient_failures } = self {
+            h.write_u32(*transient_failures);
+        }
+    }
+}
+
+/// One scheduled cloud fault: armed for waves in
+/// `[arm_wave, disarm_wave)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudFaultEvent {
+    pub kind: CloudFaultKind,
+    pub arm_wave: u64,
+    pub disarm_wave: u64,
+}
+
+impl StateHash for CloudFaultEvent {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.kind.state_hash(h);
+        h.write_u64(self.arm_wave);
+        h.write_u64(self.disarm_wave);
+    }
+}
+
+/// A fault schedule for a whole fleet run: per-flight plans,
+/// correlated events shared by every flight (a regional GPS-denial
+/// window, weather-grade battery degradation, a link partition), and
+/// cloud-side faults windowed by wave.
+///
+/// Like [`FaultPlan`], the fleet plan is pure data generated from a
+/// dedicated RNG stream; an empty fleet plan injects nothing and
+/// must leave the run bit-identical to a build with no fault
+/// machinery at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Per-physical-flight plans, indexed by flight order.
+    pub flights: Vec<FaultPlan>,
+    /// Events injected into *every* flight of the run.
+    pub correlated: Vec<FaultEvent>,
+    /// Cloud-side faults, windowed by wave index.
+    pub cloud: Vec<CloudFaultEvent>,
+}
+
+impl FleetFaultPlan {
+    /// A plan injecting nothing anywhere.
+    pub fn empty() -> FleetFaultPlan {
+        FleetFaultPlan { seed: 0, flights: Vec::new(), correlated: Vec::new(), cloud: Vec::new() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flights.iter().all(FaultPlan::is_empty)
+            && self.correlated.is_empty()
+            && self.cloud.is_empty()
+    }
+
+    /// The single-flight plan effective for physical flight `flight`:
+    /// that flight's own events followed by every correlated event.
+    /// Flights past the planned horizon get correlated events only.
+    pub fn effective_plan(&self, flight: usize) -> FaultPlan {
+        let mut events = self
+            .flights
+            .get(flight)
+            .map(|p| p.events.clone())
+            .unwrap_or_default();
+        events.extend(self.correlated.iter().cloned());
+        FaultPlan { seed: self.seed, events }
+    }
+
+    /// The cloud fault kinds armed for `wave`, in schedule order.
+    pub fn cloud_armed(&self, wave: u64) -> Vec<CloudFaultKind> {
+        self.cloud
+            .iter()
+            .filter(|e| wave >= e.arm_wave && wave < e.disarm_wave)
+            .map(|e| e.kind.clone())
+            .collect()
+    }
+
+    /// The sub-plan containing only tenant-targeted container
+    /// crashes (no correlated or cloud events). Crashing one tenant
+    /// must never change a healthy tenant's outcome, so this slice of
+    /// the plan is what the fleet gate replays against the no-fault
+    /// baseline.
+    pub fn crash_only(&self) -> FleetFaultPlan {
+        let flights = self
+            .flights
+            .iter()
+            .map(|p| FaultPlan {
+                seed: p.seed,
+                events: p
+                    .events
+                    .iter()
+                    .filter(|e| {
+                        matches!(e.kind, FaultKind::ContainerCrash { target: Some(_) })
+                    })
+                    .cloned()
+                    .collect(),
+            })
+            .collect();
+        FleetFaultPlan { seed: self.seed, flights, correlated: Vec::new(), cloud: Vec::new() }
+    }
+
+    /// The sorted, deduplicated set of tenants named by container
+    /// crashes anywhere in the plan.
+    pub fn crash_targets(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .flights
+            .iter()
+            .flat_map(|p| p.events.iter())
+            .chain(self.correlated.iter())
+            .filter_map(|e| match &e.kind {
+                FaultKind::ContainerCrash { target: Some(name) } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Generates a fleet plan for `n_flights` physical flights
+    /// carrying `tenants`, each flight `horizon_ticks` seconds long,
+    /// from a dedicated RNG stream seeded by `seed` alone.
+    ///
+    /// Container crashes always name a victim (drawn from `tenants`)
+    /// so the healthy set is well defined; correlated events are
+    /// drawn from the shared-environment family (GPS denial, link
+    /// partition/fade, battery weather); cloud faults use single-wave
+    /// windows so the fleet always makes progress between outages.
+    pub fn generate(
+        seed: u64,
+        n_flights: usize,
+        tenants: &[String],
+        horizon_ticks: u64,
+    ) -> FleetFaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1EE_7FA1_7000_0000);
+        let horizon = horizon_ticks.max(12);
+        let arm_span = (horizon * 3 / 4).max(5);
+
+        let mut flights = Vec::with_capacity(n_flights);
+        for _ in 0..n_flights {
+            let count = rng.gen_range(0..=2);
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                let kind = match rng.gen_range(0..8u32) {
+                    0 => FaultKind::SensorStuck { channel: FaultPlan::pick_channel(&mut rng) },
+                    1 => FaultKind::SensorBias {
+                        channel: FaultPlan::pick_channel(&mut rng),
+                        bias: rng.gen_range(-1.5..1.5),
+                    },
+                    2 => FaultKind::GpsLoss,
+                    3 => FaultKind::LinkBurstLoss { burst: BurstLoss::cellular_fade() },
+                    4 => FaultKind::BinderFailure { period: rng.gen_range(2..6) },
+                    5 => FaultKind::BinderTimeout { period: rng.gen_range(2..6) },
+                    6 if !tenants.is_empty() => FaultKind::ContainerCrash {
+                        target: FaultPlan::pick_target(&mut rng, tenants),
+                    },
+                    6 => FaultKind::GpsLoss,
+                    _ => FaultKind::BatteryDegradation { health: rng.gen_range(0.7..0.95) },
+                };
+                let arm_tick = rng.gen_range(4..4 + arm_span);
+                let duration = rng.gen_range(3u64..=10);
+                events.push(FaultEvent { kind, arm_tick, disarm_tick: arm_tick + duration });
+            }
+            flights.push(FaultPlan { seed, events });
+        }
+
+        let correlated_count = rng.gen_range(0..=2);
+        let mut correlated = Vec::with_capacity(correlated_count);
+        for _ in 0..correlated_count {
+            let kind = match rng.gen_range(0..4u32) {
+                0 => FaultKind::GpsLoss,
+                // A long shared partition latches the RTL failsafe
+                // and ends flights early — the path that exercises
+                // cross-flight resume.
+                1 => FaultKind::LinkPartition,
+                2 => FaultKind::LinkBurstLoss { burst: BurstLoss::cellular_fade() },
+                _ => FaultKind::BatteryDegradation { health: rng.gen_range(0.75..0.95) },
+            };
+            let duration = if matches!(kind, FaultKind::LinkPartition) {
+                rng.gen_range(12u64..=20)
+            } else {
+                rng.gen_range(4u64..=12)
+            };
+            let arm_tick = rng.gen_range(4..4 + arm_span);
+            correlated.push(FaultEvent { kind, arm_tick, disarm_tick: arm_tick + duration });
+        }
+
+        let waves = n_flights.max(1) as u64;
+        let cloud_count = rng.gen_range(0..=2);
+        let mut cloud = Vec::with_capacity(cloud_count);
+        for _ in 0..cloud_count {
+            let kind = match rng.gen_range(0..4u32) {
+                0 => CloudFaultKind::PortalDown,
+                1 => CloudFaultKind::VdrUnavailable,
+                2 => CloudFaultKind::StorageWriteFail {
+                    transient_failures: rng.gen_range(1..=5),
+                },
+                _ => CloudFaultKind::PlannerReject,
+            };
+            let arm_wave = rng.gen_range(0..waves);
+            cloud.push(CloudFaultEvent { kind, arm_wave, disarm_wave: arm_wave + 1 });
+        }
+
+        FleetFaultPlan { seed, flights, correlated, cloud }
+    }
+}
+
+impl StateHash for FleetFaultPlan {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.seed);
+        h.write_usize(self.flights.len());
+        for p in &self.flights {
+            p.state_hash(h);
+        }
+        h.write_usize(self.correlated.len());
+        for e in &self.correlated {
+            e.state_hash(h);
+        }
+        h.write_usize(self.cloud.len());
+        for e in &self.cloud {
             e.state_hash(h);
         }
     }
@@ -312,10 +613,160 @@ mod tests {
             let crashes = plan
                 .events
                 .iter()
-                .filter(|e| e.kind == FaultKind::ContainerCrash)
+                .filter(|e| matches!(e.kind, FaultKind::ContainerCrash { .. }))
                 .count();
             assert!(crashes <= 1, "seed {seed}: {crashes} container crashes");
         }
+    }
+
+    #[test]
+    fn targeted_generation_names_deployed_tenants() {
+        let targets = vec!["vd-a".to_string(), "vd-b".to_string(), "vd-c".to_string()];
+        let mut named = 0;
+        for seed in 0..256 {
+            let plan = FaultPlan::generate_targeted(seed, 120, &targets);
+            for e in &plan.events {
+                if let FaultKind::ContainerCrash { target } = &e.kind {
+                    let t = target.as_deref().expect("targeted plans always name a victim");
+                    assert!(targets.iter().any(|x| x == t), "unknown target {t}");
+                    named += 1;
+                }
+            }
+        }
+        assert!(named > 0, "no crash drawn across 256 seeds");
+    }
+
+    #[test]
+    fn untargeted_generation_matches_legacy_sequence() {
+        for seed in 0..64 {
+            assert_eq!(
+                FaultPlan::generate(seed, 120),
+                FaultPlan::generate_targeted(seed, 120, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_generation_is_deterministic() {
+        let tenants = vec!["vd-a".to_string(), "vd-b".to_string()];
+        let a = FleetFaultPlan::generate(7, 3, &tenants, 90);
+        let b = FleetFaultPlan::generate(7, 3, &tenants, 90);
+        assert_eq!(a, b);
+        assert_eq!(a.hash_value(), b.hash_value());
+        assert_eq!(a.flights.len(), 3);
+        let c = FleetFaultPlan::generate(8, 3, &tenants, 90);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn fleet_crashes_always_name_a_victim() {
+        let tenants = vec!["vd-a".to_string(), "vd-b".to_string()];
+        for seed in 0..256 {
+            let plan = FleetFaultPlan::generate(seed, 3, &tenants, 90);
+            for e in plan.flights.iter().flat_map(|p| p.events.iter()) {
+                if let FaultKind::ContainerCrash { target } = &e.kind {
+                    assert!(target.is_some(), "seed {seed}: unnamed fleet crash");
+                }
+            }
+            for t in plan.crash_targets() {
+                assert!(tenants.contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fleet_plan_yields_empty_effective_plans() {
+        let fleet = FleetFaultPlan::empty();
+        assert!(fleet.is_empty());
+        for flight in 0..4 {
+            let p = fleet.effective_plan(flight);
+            assert!(p.is_empty());
+            assert_eq!(p, FaultPlan::empty());
+        }
+        assert!(fleet.cloud_armed(0).is_empty());
+    }
+
+    #[test]
+    fn effective_plan_merges_flight_and_correlated_events() {
+        let mut fleet = FleetFaultPlan::empty();
+        fleet.flights.push(FaultPlan::single(FaultKind::GpsLoss, 5, 10));
+        fleet.correlated.push(FaultEvent {
+            kind: FaultKind::LinkPartition,
+            arm_tick: 20,
+            disarm_tick: 40,
+        });
+        let p0 = fleet.effective_plan(0);
+        assert_eq!(p0.events.len(), 2);
+        assert_eq!(p0.events[0].kind, FaultKind::GpsLoss);
+        assert_eq!(p0.events[1].kind, FaultKind::LinkPartition);
+        // Past the planned horizon: correlated events only.
+        let p1 = fleet.effective_plan(1);
+        assert_eq!(p1.events.len(), 1);
+        assert_eq!(p1.events[0].kind, FaultKind::LinkPartition);
+    }
+
+    #[test]
+    fn cloud_windows_are_wave_scoped() {
+        let mut fleet = FleetFaultPlan::empty();
+        fleet.cloud.push(CloudFaultEvent {
+            kind: CloudFaultKind::PortalDown,
+            arm_wave: 1,
+            disarm_wave: 2,
+        });
+        fleet.cloud.push(CloudFaultEvent {
+            kind: CloudFaultKind::StorageWriteFail { transient_failures: 2 },
+            arm_wave: 1,
+            disarm_wave: 3,
+        });
+        assert!(fleet.cloud_armed(0).is_empty());
+        assert_eq!(
+            fleet.cloud_armed(1),
+            vec![
+                CloudFaultKind::PortalDown,
+                CloudFaultKind::StorageWriteFail { transient_failures: 2 },
+            ]
+        );
+        assert_eq!(
+            fleet.cloud_armed(2),
+            vec![CloudFaultKind::StorageWriteFail { transient_failures: 2 }]
+        );
+    }
+
+    #[test]
+    fn crash_only_keeps_named_crashes_and_drops_everything_else() {
+        let mut fleet = FleetFaultPlan::empty();
+        fleet.flights.push(FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent {
+                    kind: FaultKind::ContainerCrash { target: Some("vd-a".into()) },
+                    arm_tick: 5,
+                    disarm_tick: 9,
+                },
+                FaultEvent { kind: FaultKind::GpsLoss, arm_tick: 6, disarm_tick: 12 },
+                FaultEvent {
+                    kind: FaultKind::ContainerCrash { target: None },
+                    arm_tick: 7,
+                    disarm_tick: 11,
+                },
+            ],
+        });
+        fleet.correlated.push(FaultEvent {
+            kind: FaultKind::LinkPartition,
+            arm_tick: 3,
+            disarm_tick: 30,
+        });
+        fleet.cloud.push(CloudFaultEvent {
+            kind: CloudFaultKind::PlannerReject,
+            arm_wave: 0,
+            disarm_wave: 1,
+        });
+        let crash = fleet.crash_only();
+        assert_eq!(crash.flights.len(), 1);
+        assert_eq!(crash.flights[0].events.len(), 1, "unnamed crash dropped too");
+        assert!(crash.correlated.is_empty());
+        assert!(crash.cloud.is_empty());
+        assert_eq!(fleet.crash_targets(), vec!["vd-a".to_string()]);
     }
 
     #[test]

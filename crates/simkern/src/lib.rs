@@ -44,7 +44,10 @@ pub mod time;
 pub use cpu::{ClientId, ResourceKind, ResourceSet, SharedResource};
 pub use error::KernelError;
 pub use event::EventQueue;
-pub use faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, FaultTransition, SensorChannel};
+pub use faults::{
+    CloudFaultEvent, CloudFaultKind, FaultClock, FaultEvent, FaultKind, FaultPlan,
+    FaultTransition, FleetFaultPlan, SensorChannel,
+};
 pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{MemOwner, MemoryLedger, MIB};

@@ -77,6 +77,12 @@ pub struct WatchdogConfig {
     /// Denied (geofence/policy-violating) commands tolerated before
     /// revocation.
     pub max_denials: u64,
+    /// Seconds a virtual drone may keep forwarding commands at an
+    /// active waypoint *without* reporting mission progress (the SDK
+    /// progress heartbeat) before it is revoked. Closes the
+    /// busy-loop blind spot: a tenant spamming valid commands evades
+    /// the stall signal but not this one. `None` disables the check.
+    pub progress_timeout_s: Option<u64>,
 }
 
 impl Default for WatchdogConfig {
@@ -84,6 +90,7 @@ impl Default for WatchdogConfig {
         WatchdogConfig {
             stall_timeout_s: 20,
             max_denials: 50,
+            progress_timeout_s: None,
         }
     }
 }
@@ -102,6 +109,10 @@ pub struct VdRecord {
     energy_warned: bool,
     time_warned: bool,
     waypoints_completed: usize,
+    /// Monotone count of SDK progress heartbeats (explicit
+    /// `report_progress` plus every `waypoint_completed`). The
+    /// flight watchdog reads it to tell "working" from "busy-looping".
+    progress_marks: u64,
     events: VecDeque<VdcEvent>,
     /// Files apps marked for upload to cloud storage.
     pub marked_files: Vec<String>,
@@ -128,6 +139,11 @@ impl VdRecord {
     /// Waypoints completed so far.
     pub fn waypoints_completed(&self) -> usize {
         self.waypoints_completed
+    }
+
+    /// Progress heartbeats received so far.
+    pub fn progress_marks(&self) -> u64 {
+        self.progress_marks
     }
 }
 
@@ -240,6 +256,7 @@ impl Vdc {
                 energy_warned: false,
                 time_warned: false,
                 waypoints_completed: 0,
+                progress_marks: 0,
                 events: VecDeque::new(),
                 marked_files: Vec::new(),
                 waypoint_done: false,
@@ -368,10 +385,23 @@ impl Vdc {
         }
     }
 
-    /// SDK: the app declares its waypoint task complete.
+    /// SDK: the app declares its waypoint task complete. Counts as a
+    /// progress heartbeat too.
     pub fn waypoint_completed(&mut self, name: &str) {
         if let Some(rec) = self.records.get_mut(name) {
             rec.waypoint_done = true;
+            rec.progress_marks += 1;
+        }
+    }
+
+    /// SDK: the app reports it is making mission progress at the
+    /// active waypoint (the watchdog heartbeat). Apps doing long
+    /// waypoint tasks call this periodically; a tenant busy-looping
+    /// commands without it is revoked once
+    /// [`WatchdogConfig::progress_timeout_s`] elapses.
+    pub fn report_progress(&mut self, name: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.progress_marks += 1;
         }
     }
 
@@ -495,6 +525,7 @@ impl StateHash for VdRecord {
         h.write_bool(self.energy_warned);
         h.write_bool(self.time_warned);
         h.write_usize(self.waypoints_completed);
+        h.write_u64(self.progress_marks);
         h.write_usize(self.events.len());
         for e in &self.events {
             e.state_hash(h);
@@ -528,6 +559,13 @@ impl StateHash for Vdc {
                 h.write_u8(1);
                 h.write_u64(cfg.stall_timeout_s);
                 h.write_u64(cfg.max_denials);
+                match cfg.progress_timeout_s {
+                    Some(t) => {
+                        h.write_u8(1);
+                        h.write_u64(t);
+                    }
+                    None => h.write_u8(0),
+                }
             }
             None => h.write_u8(0),
         }

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
 # Seeded chaos gate.
 #
-# Runs the chaos suite in release with a widened seed sweep: 24
-# generated fault plans, each flown twice, holding the four gate
-# invariants (containment, energy accounting, defined end, dual-run
-# bit-identity) plus one targeted test per fault kind and the
-# empty-plan baseline bit-identity check.
+# Default mode runs the single-flight chaos suite in release with a
+# widened seed sweep: 24 generated fault plans, each flown twice,
+# holding the four gate invariants (containment, energy accounting,
+# defined end, dual-run bit-identity) plus one targeted test per
+# fault kind and the empty-plan baseline bit-identity check.
+#
+# Fleet mode (--fleet) runs the fleet chaos gate instead: generated
+# FleetFaultPlans over multi-wave, multi-flight, multi-tenant service
+# runs, holding dual-run fleet-digest identity, crash containment
+# against the no-fault baseline, energy/time conservation across
+# crash→resume, and terminal resolution for every tenant.
 #
 # Usage: scripts/chaos.sh [seeds]
+#        scripts/chaos.sh --fleet [seeds]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SEEDS="${1:-24}"
-
-echo "== chaos gate (${SEEDS} seeded fault plans, dual-run) =="
-CHAOS_SEEDS="${SEEDS}" cargo test -q --release -p androne --test chaos
+if [[ "${1:-}" == "--fleet" ]]; then
+    SEEDS="${2:-8}"
+    echo "== fleet chaos gate (${SEEDS} generated fleet plans, dual-run) =="
+    FLEET_CHAOS_SEEDS="${SEEDS}" cargo test -q --release -p androne --test fleet_chaos
+else
+    SEEDS="${1:-24}"
+    echo "== chaos gate (${SEEDS} seeded fault plans, dual-run) =="
+    CHAOS_SEEDS="${SEEDS}" cargo test -q --release -p androne --test chaos
+fi

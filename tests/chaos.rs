@@ -419,7 +419,7 @@ fn binder_timeouts_are_survivable() {
 #[test]
 fn container_crash_and_supervised_restart_preserve_the_allotment() {
     let baseline = run_with_faults(SEED, FaultPlan::empty());
-    let run = run_with_faults(SEED, FaultPlan::single(FaultKind::ContainerCrash, 6, 12));
+    let run = run_with_faults(SEED, FaultPlan::single(FaultKind::ContainerCrash { target: None }, 6, 12));
     assert_invariants(&run, "container crash");
     assert!(run.actions.iter().any(|a| a.contains("arm container-crash vd1")));
     assert!(
@@ -468,6 +468,7 @@ fn watchdog_revokes_a_stalled_virtual_drone() {
         Some(WatchdogConfig {
             stall_timeout_s: 3,
             max_denials: 50,
+            progress_timeout_s: None,
         }),
     );
     assert_invariants(&run, "watchdog");

@@ -300,10 +300,15 @@ fn vdr_storage_scales_with_diffs_not_images() {
             .write("/data/out.bin", vec![0u8; i * 1000]);
         let (archive, app_state) = drone.save_vdrone(&name).unwrap();
         total_diffs += archive.stored_bytes();
+        let stored_spec = spec(vec![wp(40.0, 0.0, 30.0)]);
         androne.cloud.vdr.store(androne::cloud::SavedVirtualDrone {
             name: name.clone(),
             owner: "user".into(),
-            spec: spec(vec![wp(40.0, 0.0, 30.0)]),
+            remaining_energy_j: stored_spec.energy_allotted,
+            remaining_time_s: stored_spec.max_duration,
+            waypoints_completed: 1,
+            flights_flown: 1,
+            spec: stored_spec,
             archive,
             app_state,
             reason: androne::cloud::SaveReason::Completed,
