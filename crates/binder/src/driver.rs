@@ -28,6 +28,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use androne_container::DeviceNamespaceId;
+use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_simkern::{ContainerId, Euid, Pid, SimDuration, StateHash, StateHasher};
 
 use crate::error::BinderError;
@@ -186,6 +187,13 @@ pub fn transaction_cost(wire_size: usize) -> SimDuration {
     SimDuration::from_nanos(32_000 + (wire_size as u64 * 2) / 5)
 }
 
+/// Bucket bounds for the `binder.latency_ns` histogram,
+/// sim-nanoseconds. The floor bucket sits at the fixed 32 us
+/// round-trip cost; the tail resolves large-payload copies.
+pub const BINDER_LATENCY_BOUNDS: &[u64] = &[
+    32_000, 33_000, 35_000, 40_000, 50_000, 75_000, 100_000, 250_000, 1_000_000,
+];
+
 /// The Binder driver instance for one board.
 pub struct BinderDriver {
     /// Per-process state, ordered by PID so every iteration (and
@@ -224,6 +232,9 @@ pub struct BinderDriver {
     /// Transactions attempted since boot, counted whether or not a
     /// fault fired — the deterministic clock fault injection runs on.
     transact_attempts: u64,
+    /// Observability handle; detached (free) unless the owning drone
+    /// attached one.
+    obs: ObsHandle,
 }
 
 /// Counter-based deterministic Binder fault injection: every
@@ -258,7 +269,14 @@ impl BinderDriver {
             stats: DriverStats::default(),
             fault: None,
             transact_attempts: 0,
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attaches the shared observability handle; every transaction is
+    /// traced and counted from then on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     fn node(&self, id: NodeId) -> Option<&Node> {
@@ -467,6 +485,16 @@ impl BinderDriver {
         self.transact_attempts += 1;
         if let Some(f) = self.fault {
             if f.period > 0 && self.transact_attempts.is_multiple_of(u64::from(f.period)) {
+                let wire = data.wire_size() as u64;
+                self.obs.count("binder.txn.injected_fail", 1);
+                self.obs.emit(Subsystem::Binder, || TraceEvent::BinderTxn {
+                    caller: caller.0,
+                    code,
+                    wire_size: wire,
+                    cross_container: false,
+                    latency_ns: 0,
+                    ok: false,
+                });
                 return Err(if f.timeout {
                     BinderError::TimedOut
                 } else {
@@ -496,6 +524,22 @@ impl BinderDriver {
         if cross {
             self.stats.cross_container += 1;
         }
+        let wire = data.wire_size() as u64;
+        let latency_ns = transaction_cost(data.wire_size()).as_nanos();
+        self.obs.count("binder.txn", 1);
+        if cross {
+            self.obs.count("binder.txn.cross_container", 1);
+        }
+        self.obs
+            .observe("binder.latency_ns", BINDER_LATENCY_BOUNDS, latency_ns);
+        self.obs.emit(Subsystem::Binder, || TraceEvent::BinderTxn {
+            caller: caller.0,
+            code,
+            wire_size: wire,
+            cross_container: cross,
+            latency_ns,
+            ok: true,
+        });
 
         let mut reply = {
             let mut guard = handler.try_borrow_mut().map_err(|_| BinderError::Reentrant)?;

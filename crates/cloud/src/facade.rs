@@ -22,6 +22,7 @@
 //! records each degraded-mode decision for the dual-run sanitizer.
 
 use androne_hal::GeoPoint;
+use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_planner::FlightPlan;
 use androne_sdk::{retry_with_backoff, RetryFailure, RetryPolicy};
 use androne_simkern::{CloudFaultKind, SimDuration};
@@ -83,6 +84,9 @@ pub struct FallibleCloud {
     pub backoff_spent: SimDuration,
     /// Human-readable record of every degraded-mode decision.
     pub log: Vec<String>,
+    /// Observability handle; detached (free) unless the fleet
+    /// executor attached one.
+    obs: ObsHandle,
 }
 
 impl FallibleCloud {
@@ -101,7 +105,14 @@ impl FallibleCloud {
             buffered: Vec::new(),
             backoff_spent: SimDuration::from_nanos(0),
             log: Vec::new(),
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attaches the shared observability handle; degraded-mode
+    /// decisions and retry ladders are traced from then on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Arms `faults` for wave `wave`, healing whatever is no longer
@@ -112,12 +123,22 @@ impl FallibleCloud {
         self.armed = faults;
         if !self.armed.is_empty() {
             self.log.push(format!("wave {wave}: armed {:?}", self.armed));
+            self.obs.count("cloud.fault_waves", 1);
+            self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
+                mode: "faults-armed",
+                detail: format!("wave {wave}: {:?}", self.armed),
+            });
         }
         if self.storage_transients().is_none() && !self.buffered.is_empty() {
             self.log.push(format!(
                 "wave {wave}: storage healed, draining {} buffered offloads",
                 self.buffered.len()
             ));
+            self.obs.count("cloud.storage_heals", 1);
+            self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
+                mode: "storage-healed",
+                detail: format!("wave {wave}: {} offloads drained", self.buffered.len()),
+            });
             let buffered = std::mem::take(&mut self.buffered);
             for b in buffered {
                 self.offload_now(&b.user, b.flight_id, b.path, b.data);
@@ -178,6 +199,11 @@ impl FallibleCloud {
                 }
             }
             self.log.push(format!("{err}: {} orders queued", self.queued.len()));
+            self.obs.count("cloud.orders_queued", orders.len() as u64);
+            self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
+                mode: "planning-down",
+                detail: format!("{err}: {} orders queued", self.queued.len()),
+            });
             return Err(err);
         }
         let mut all: Vec<PlacedOrder> = orders.to_vec();
@@ -195,6 +221,11 @@ impl FallibleCloud {
     pub fn checkout_saved(&mut self, name: &str) -> Result<Option<SavedVirtualDrone>, CloudError> {
         if self.vdr_down() {
             self.log.push(format!("vdr unavailable: {name} not checked out"));
+            self.obs.count("cloud.vdr_unavailable", 1);
+            self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
+                mode: "vdr-unavailable",
+                detail: name.to_string(),
+            });
             return Err(CloudError::VdrUnavailable);
         }
         Ok(self.inner.vdr.checkout(name))
@@ -221,6 +252,11 @@ impl FallibleCloud {
                     self.log.push(format!(
                         "flight {flight_id}: {e}; buffering {path} for {user}"
                     ));
+                    self.obs.count("cloud.offloads_buffered", 1);
+                    self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
+                        mode: "offload-buffered",
+                        detail: format!("flight {flight_id}: {path} for {user}"),
+                    });
                     self.buffered.push(BufferedOffload {
                         user: user.to_string(),
                         flight_id,
@@ -271,6 +307,20 @@ impl FallibleCloud {
         );
         self.backoff_spent =
             SimDuration::from_nanos(self.backoff_spent.as_nanos() + backoff.as_nanos());
+        if transients > 0 {
+            let (attempts, gave_up) = match &attempted {
+                Ok(()) => (transients + 1, false),
+                Err(RetryFailure::Exhausted { attempts, .. }) => (*attempts, true),
+                Err(RetryFailure::Fatal(_)) => (1, true),
+            };
+            self.obs.count("cloud.storage_retries", u64::from(attempts.saturating_sub(1)));
+            self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudRetry {
+                op: "storage-offload",
+                attempts,
+                backoff_ns: backoff.as_nanos(),
+                gave_up,
+            });
+        }
         match attempted {
             Ok(()) => {
                 if transients > 0 {

@@ -20,6 +20,7 @@ use androne_container::{
 };
 use androne_flight::{CommandWhitelist, Geofence, MavProxy, Sitl, Vfc};
 use androne_hal::{share, GeoPoint, HardwareBoard, SharedBoard};
+use androne_obs::ObsHandle;
 use androne_planner::PILOT_CLIENT;
 use androne_sdk::AndroneSdk;
 use androne_simkern::{ContainerId, Euid, Kernel, KernelConfig, SchedPolicy, SharedKernel};
@@ -111,6 +112,9 @@ pub struct Drone {
     /// Whether the flight controller runs on separate hardware (the
     /// paper's mitigation for kernel-crash risk, Section 4.3).
     pub flight_on_separate_hardware: bool,
+    /// The shared observability handle; clones of it live in the
+    /// Binder driver, MAVProxy, and the VDC.
+    pub obs: ObsHandle,
     /// Set by [`Drone::inject_kernel_panic`].
     host_crashed: bool,
     home: GeoPoint,
@@ -131,6 +135,9 @@ impl Drone {
     ) -> Result<Self, DroneError> {
         let kernel = Kernel::boot_shared(config, seed);
         let mut runtime = ContainerRuntime::new(kernel.clone())?;
+        // One shared observability state for the whole drone; created
+        // first so even boot-time Binder traffic is traced at t=0.
+        let obs = ObsHandle::attached();
 
         // Register the shared base images.
         let android_base = Layer::from_files([
@@ -173,8 +180,10 @@ impl Drone {
         let access = Rc::new(RefCell::new(AccessTable::new()));
         access.borrow_mut().set_device_container(device_id);
         let vdc = Rc::new(RefCell::new(Vdc::new(access.clone())));
+        vdc.borrow_mut().set_obs(obs.clone());
 
         let mut driver = BinderDriver::new();
+        driver.set_obs(obs.clone());
         let device_instance = {
             let mut k = kernel.lock();
             boot_android_instance(
@@ -226,6 +235,7 @@ impl Drone {
         // waypoint is geotagged where the drone actually is.
         let sitl = Sitl::with_board(board.clone(), home);
         let mut proxy = MavProxy::new();
+        proxy.set_obs(obs.clone());
         proxy.add_unrestricted_client(PILOT_CLIENT);
 
         // The flight container's HAL bridge process: a native Binder
@@ -254,6 +264,7 @@ impl Drone {
             vdrones: BTreeMap::new(),
             pending_restarts: BTreeMap::new(),
             flight_on_separate_hardware: false,
+            obs,
             host_crashed: false,
             home,
         })

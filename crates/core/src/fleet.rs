@@ -27,14 +27,14 @@ use std::collections::BTreeMap;
 
 use androne_cloud::{FallibleCloud, PlacedOrder, SaveReason, SavedVirtualDrone};
 use androne_hal::GeoPoint;
+use androne_obs::ObsHandle;
 use androne_simkern::{FleetFaultPlan, StateHasher};
 use androne_vdc::{VirtualDroneSpec, WatchdogConfig};
 
 use crate::drone::{Drone, DroneError};
-use crate::flight_exec::{
-    execute_flight_observed, EndReason, FlightLog, FlightObserver,
-};
+use crate::flight_exec::{execute_flight_probed, EndReason, FlightLog};
 use crate::injector::FaultInjector;
+use crate::probe::{DigestProbe, ProbeStack};
 
 /// One customer order in a fleet run.
 #[derive(Debug, Clone)]
@@ -254,6 +254,11 @@ pub fn execute_fleet(
     faults: &FleetFaultPlan,
 ) -> Result<FleetOutcome, DroneError> {
     let mut cloud = FallibleCloud::new();
+    // Cloud-side observability: one attached handle for the whole
+    // run, stamped to wave boundaries (1 simulated second per wave)
+    // so degraded-mode trace records order by wave.
+    let cloud_obs = ObsHandle::attached();
+    cloud.set_obs(cloud_obs.clone());
     let mut states: BTreeMap<String, TenantState> = cfg
         .tenants
         .iter()
@@ -286,6 +291,7 @@ pub fn execute_fleet(
             break;
         }
         waves_run = wave + 1;
+        cloud_obs.set_now_ns(wave.saturating_mul(1_000_000_000));
         cloud.begin_wave(wave, faults.cloud_armed(wave));
 
         // Build this wave's candidate orders. Fresh tenants order
@@ -436,22 +442,17 @@ pub fn execute_fleet(
 
             let flight_id = cloud.inner.new_flight_id();
             let mut injector = FaultInjector::new(faults.effective_plan(flight_counter));
-            let mut digest = StateHasher::new();
+            let mut digest = DigestProbe::new();
             let outcome = {
-                let observer: FlightObserver<'_> = Box::new(|tick, d: &mut Drone| {
-                    injector.apply_tick(tick, d);
-                    digest.write_u64(tick);
-                    for (component, hash) in d.component_hashes() {
-                        digest.write_str(component);
-                        digest.write_u64(hash);
-                    }
-                });
-                execute_flight_observed(
+                let mut probes = ProbeStack::new();
+                probes.push(&mut injector);
+                probes.push(&mut digest);
+                execute_flight_probed(
                     &mut drone,
                     plan,
                     cfg.max_sim_seconds,
                     None,
-                    Some(observer),
+                    &mut probes,
                 )
             };
 
@@ -549,7 +550,7 @@ pub fn execute_fleet(
                 end_reason: outcome.end_reason,
                 duration_s: outcome.duration_s,
                 total_energy_j: outcome.total_energy_j,
-                trace_digest: digest.finish(),
+                trace_digest: digest.digest(),
                 injected: injector.actions().to_vec(),
             });
             flight_counter += 1;

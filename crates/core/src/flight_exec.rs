@@ -12,9 +12,11 @@
 use std::collections::BTreeMap;
 
 use androne_flight::Geofence;
+use androne_obs::{Subsystem, TraceEvent};
 use androne_planner::{Autopilot, FlightPlan, PilotEvent};
 
 use crate::drone::Drone;
+use crate::probe::{FlightProbe, NoProbe};
 
 /// One entry in the flight log.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +74,20 @@ pub enum EndReason {
     WatchdogRevoked,
 }
 
+impl EndReason {
+    /// Stable display tag, used by the black-box recorder and trace.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EndReason::Completed => "Completed",
+            EndReason::EnergyExhausted => "EnergyExhausted",
+            EndReason::TimeExhausted => "TimeExhausted",
+            EndReason::Aborted => "Aborted",
+            EndReason::LinkLost => "LinkLost",
+            EndReason::WatchdogRevoked => "WatchdogRevoked",
+        }
+    }
+}
+
 /// Outcome of one executed flight.
 #[derive(Debug)]
 pub struct FlightOutcome {
@@ -94,12 +110,61 @@ pub struct FlightOutcome {
 /// second; returning `true` sends the drone home.
 pub type AbortCheck<'a> = Box<dyn FnMut(f64) -> bool + 'a>;
 
-/// Per-second observer hook for the determinism sanitizer: called
-/// once per simulated second with the tick index (seconds since
-/// launch) and mutable access to the drone, after that second's
-/// processing. Mutable access lets fault-injection harnesses perturb
-/// state at an exact tick; well-behaved observers only read.
-pub type FlightObserver<'a> = Box<dyn FnMut(u64, &mut Drone) + 'a>;
+/// Sim-nanoseconds per executor step (400 steps per simulated
+/// second).
+const STEP_NS: u64 = 2_500_000;
+
+/// Stable tag + detail + counter name for one flight-log entry, used
+/// when mirroring it onto the trace bus.
+fn event_trace_parts(event: &FlightLog) -> (&'static str, String, &'static str) {
+    match event {
+        FlightLog::Launched => ("launched", String::new(), "flight.launched"),
+        FlightLog::WaypointHandover {
+            owner,
+            waypoint,
+            flight_control,
+        } => (
+            "handover",
+            format!("{owner} wp{waypoint} vfc={flight_control}"),
+            "flight.handovers",
+        ),
+        FlightLog::WaypointEnd {
+            owner,
+            waypoint,
+            reason,
+            enforced_kills,
+        } => (
+            "waypoint-end",
+            format!("{owner} wp{waypoint} {} kills={enforced_kills}", reason.name()),
+            "flight.waypoint_ends",
+        ),
+        FlightLog::GeofenceBreach { owner } => {
+            ("geofence-breach", owner.clone(), "flight.breaches")
+        }
+        FlightLog::Aborted => ("aborted", String::new(), "flight.aborts"),
+        FlightLog::Landed => ("landed", String::new(), "flight.landings"),
+    }
+}
+
+/// Appends one flight-log entry: mirrors it onto the trace bus,
+/// bumps its counter, and fires the probe's `on_event` hook before
+/// the entry lands in the log.
+fn push_event(
+    log: &mut Vec<FlightLog>,
+    probe: &mut dyn FlightProbe,
+    tick: u64,
+    drone: &mut Drone,
+    event: FlightLog,
+) {
+    let (phase, detail, counter) = event_trace_parts(&event);
+    drone.obs.emit(Subsystem::Flight, || TraceEvent::FlightPhase {
+        phase,
+        detail,
+    });
+    drone.obs.count(counter, 1);
+    probe.on_event(tick, &event, drone);
+    log.push(event);
+}
 
 /// Executes `plan` on `drone` to completion (or abort), with a
 /// safety cap of `max_sim_seconds`.
@@ -109,16 +174,19 @@ pub fn execute_flight(
     max_sim_seconds: f64,
     abort: Option<AbortCheck<'_>>,
 ) -> FlightOutcome {
-    execute_flight_observed(drone, plan, max_sim_seconds, abort, None)
+    execute_flight_probed(drone, plan, max_sim_seconds, abort, &mut NoProbe)
 }
 
-/// [`execute_flight`] with a per-second observer hook.
-pub fn execute_flight_observed(
+/// [`execute_flight`] with a [`FlightProbe`] riding the flight: the
+/// probe's `on_tick` fires once per simulated second, `on_event` at
+/// every flight-log entry, and `on_end` with the finished outcome.
+/// Compose several probes with [`crate::probe::ProbeStack`].
+pub fn execute_flight_probed(
     drone: &mut Drone,
     plan: FlightPlan,
     max_sim_seconds: f64,
     mut abort: Option<AbortCheck<'_>>,
-    mut observer: Option<FlightObserver<'_>>,
+    probe: &mut dyn FlightProbe,
 ) -> FlightOutcome {
     let mut pilot = Autopilot::new(plan);
     let mut log = Vec::new();
@@ -153,11 +221,17 @@ pub fn execute_flight_observed(
     }
 
     let max_steps = (max_sim_seconds * 400.0) as u64;
+    // `(steps elapsed, reason)` when the flight ends inside the loop.
+    let mut end: Option<(u64, EndReason)> = None;
     for step in 0..max_steps {
+        let tick = step / 400;
+        drone.obs.set_now_ns(step.saturating_mul(STEP_NS));
         let events = pilot.step(&mut drone.proxy, &mut drone.sitl);
         for event in events {
             match event {
-                PilotEvent::Launched => log.push(FlightLog::Launched),
+                PilotEvent::Launched => {
+                    push_event(&mut log, probe, tick, drone, FlightLog::Launched)
+                }
                 PilotEvent::ArrivedAtWaypoint { index, owner } => {
                     if revoked.contains(&owner) {
                         // A watchdog-revoked virtual drone gets no
@@ -183,11 +257,17 @@ pub fn execute_flight_observed(
                     if flight_control {
                         drone.proxy.activate_vfc(&owner);
                     }
-                    log.push(FlightLog::WaypointHandover {
-                        owner: owner.clone(),
-                        waypoint: wp_index,
-                        flight_control,
-                    });
+                    push_event(
+                        &mut log,
+                        probe,
+                        tick,
+                        drone,
+                        FlightLog::WaypointHandover {
+                            owner: owner.clone(),
+                            waypoint: wp_index,
+                            flight_control,
+                        },
+                    );
                     let (fwd, den) = drone.proxy.client_activity(&owner).unwrap_or((0, 0));
                     let progress = drone
                         .vdc
@@ -263,16 +343,22 @@ pub fn execute_flight_observed(
                                 drone.proxy.finish_vfc(&a.owner, pos);
                             }
                         }
-                        log.push(FlightLog::WaypointEnd {
-                            owner: a.owner,
-                            waypoint: a.wp_index,
-                            reason: a.end_reason,
-                            enforced_kills: kills,
-                        });
+                        push_event(
+                            &mut log,
+                            probe,
+                            tick,
+                            drone,
+                            FlightLog::WaypointEnd {
+                                owner: a.owner,
+                                waypoint: a.wp_index,
+                                reason: a.end_reason,
+                                enforced_kills: kills,
+                            },
+                        );
                     }
                 }
                 PilotEvent::FlightComplete => {
-                    log.push(FlightLog::Landed);
+                    push_event(&mut log, probe, tick, drone, FlightLog::Landed);
                     completed = !aborted;
                 }
             }
@@ -366,11 +452,15 @@ pub fn execute_flight_observed(
             let breaches = drone.proxy.breaches_handled;
             if breaches > breaches_seen {
                 breaches_seen = breaches;
-                if let Some(a) = active.as_ref() {
-                    drone.vdc.borrow_mut().on_geofence_breached(&a.owner);
-                    log.push(FlightLog::GeofenceBreach {
-                        owner: a.owner.clone(),
-                    });
+                if let Some(owner) = active.as_ref().map(|a| a.owner.clone()) {
+                    drone.vdc.borrow_mut().on_geofence_breached(&owner);
+                    push_event(
+                        &mut log,
+                        probe,
+                        tick,
+                        drone,
+                        FlightLog::GeofenceBreach { owner },
+                    );
                 }
             }
             let sim_t = step as f64 / 400.0;
@@ -386,20 +476,24 @@ pub fn execute_flight_observed(
                         // does not fight the return-to-base.
                         let pos = drone.sitl.position();
                         drone.proxy.finish_vfc(&a.owner, pos);
-                        log.push(FlightLog::WaypointEnd {
-                            owner: a.owner,
-                            waypoint: a.wp_index,
-                            reason: EndReason::Aborted,
-                            enforced_kills: 0,
-                        });
+                        push_event(
+                            &mut log,
+                            probe,
+                            tick,
+                            drone,
+                            FlightLog::WaypointEnd {
+                                owner: a.owner,
+                                waypoint: a.wp_index,
+                                reason: EndReason::Aborted,
+                                enforced_kills: 0,
+                            },
+                        );
                     }
                     pilot.abort_to_base(&mut drone.proxy, &mut drone.sitl);
-                    log.push(FlightLog::Aborted);
+                    push_event(&mut log, probe, tick, drone, FlightLog::Aborted);
                 }
             }
-            if let Some(obs) = observer.as_mut() {
-                obs(step / 400, drone);
-            }
+            probe.on_tick(tick, drone);
             // Link-loss failsafe termination: the ladder escalated to
             // return-to-launch and the drone is back on the ground —
             // the flight is over even though the plan is not.
@@ -414,39 +508,53 @@ pub fn execute_flight_observed(
         if link_lost || pilot.done() {
             if link_lost {
                 if let Some(a) = active.take() {
-                    log.push(FlightLog::WaypointEnd {
-                        owner: a.owner,
-                        waypoint: a.wp_index,
-                        reason: EndReason::LinkLost,
-                        enforced_kills: 0,
-                    });
+                    push_event(
+                        &mut log,
+                        probe,
+                        tick,
+                        drone,
+                        FlightLog::WaypointEnd {
+                            owner: a.owner,
+                            waypoint: a.wp_index,
+                            reason: EndReason::LinkLost,
+                            enforced_kills: 0,
+                        },
+                    );
                 }
-                log.push(FlightLog::Landed);
+                push_event(&mut log, probe, tick, drone, FlightLog::Landed);
             }
-            let end_reason = if link_lost {
+            let reason = if link_lost {
                 EndReason::LinkLost
             } else if completed {
                 EndReason::Completed
             } else {
                 EndReason::Aborted
             };
-            return FlightOutcome {
-                log,
-                total_energy_j: drone.sitl.energy_consumed_j() - energy_at_start,
-                vdrone_energy_j: vdrone_energy,
-                completed: completed && !link_lost,
-                duration_s: step as f64 / 400.0,
-                end_reason,
-            };
+            end = Some((step, reason));
+            break;
         }
     }
 
-    FlightOutcome {
+    let (duration_s, completed_flag, end_reason) = match end {
+        Some((step, reason)) => (step as f64 / 400.0, completed && !link_lost, reason),
+        None => (max_sim_seconds, false, EndReason::TimeExhausted),
+    };
+    let outcome = FlightOutcome {
         log,
         total_energy_j: drone.sitl.energy_consumed_j() - energy_at_start,
         vdrone_energy_j: vdrone_energy,
-        completed: false,
-        duration_s: max_sim_seconds,
-        end_reason: EndReason::TimeExhausted,
-    }
+        completed: completed_flag,
+        duration_s,
+        end_reason,
+    };
+    drone.obs.emit(Subsystem::Flight, || TraceEvent::FlightPhase {
+        phase: "flight-end",
+        detail: end_reason.name().to_string(),
+    });
+    drone.obs.gauge("flight.duration_s", duration_s);
+    drone
+        .obs
+        .gauge("flight.total_energy_j", outcome.total_energy_j);
+    probe.on_end(&outcome, drone);
+    outcome
 }

@@ -16,10 +16,12 @@
 
 use androne_binder::BinderFaultInjection;
 use androne_hal::SensorFaultMode;
+use androne_obs::{Subsystem, TraceEvent};
 use androne_simkern::{FaultClock, FaultKind, FaultPlan, LinkModel, SensorChannel};
 use rand::Rng;
 
 use crate::drone::Drone;
+use crate::probe::FlightProbe;
 
 /// Applies a fault plan to a drone, one simulated second at a time.
 pub struct FaultInjector {
@@ -63,35 +65,54 @@ impl FaultInjector {
         }
     }
 
+    /// Records one applied transition: the action log line, a fault
+    /// counter bump, and a `FaultEdge` trace record on the drone's
+    /// bus.
+    fn record(&mut self, drone: &Drone, kind: &'static str, armed: bool, action: String) {
+        drone.obs.count("fault.transitions", 1);
+        drone.obs.emit(Subsystem::Fault, || TraceEvent::FaultEdge {
+            kind,
+            armed,
+            detail: action.clone(),
+        });
+        self.actions.push(action);
+    }
+
     fn apply_transition(&mut self, tick: u64, kind: FaultKind, armed: bool, drone: &mut Drone) {
         let verb = if armed { "arm" } else { "disarm" };
         match kind {
             FaultKind::SensorDropout { channel } => {
                 set_channel_mode(drone, channel, on_off(armed, SensorFaultMode::Dropout));
-                self.actions
-                    .push(format!("t={tick} {verb} dropout {}", channel_name(channel)));
+                let action = format!("t={tick} {verb} dropout {}", channel_name(channel));
+                self.record(drone, "sensor-dropout", armed, action);
             }
             FaultKind::SensorStuck { channel } => {
                 set_channel_mode(drone, channel, on_off(armed, SensorFaultMode::Stuck));
-                self.actions
-                    .push(format!("t={tick} {verb} stuck {}", channel_name(channel)));
+                let action = format!("t={tick} {verb} stuck {}", channel_name(channel));
+                self.record(drone, "sensor-stuck", armed, action);
             }
             FaultKind::SensorBias { channel, bias } => {
                 set_channel_mode(drone, channel, on_off(armed, SensorFaultMode::Bias(bias)));
-                self.actions.push(format!(
+                let action = format!(
                     "t={tick} {verb} bias({bias:.3}) {}",
                     channel_name(channel)
-                ));
+                );
+                self.record(drone, "sensor-bias", armed, action);
             }
             FaultKind::GpsLoss => {
                 // GPS loss is a dropout of the GPS channel: the
                 // estimator dead-reckons on IMU + barometer.
                 set_channel_mode(drone, SensorChannel::Gps, on_off(armed, SensorFaultMode::Dropout));
-                self.actions.push(format!("t={tick} {verb} gps-loss"));
+                self.record(drone, "gps-loss", armed, format!("t={tick} {verb} gps-loss"));
             }
             FaultKind::LinkPartition => {
                 drone.proxy.set_link_partitioned(armed);
-                self.actions.push(format!("t={tick} {verb} link-partition"));
+                self.record(
+                    drone,
+                    "link-partition",
+                    armed,
+                    format!("t={tick} {verb} link-partition"),
+                );
             }
             FaultKind::LinkBurstLoss { burst } => {
                 if armed {
@@ -102,7 +123,12 @@ impl FaultInjector {
                 } else {
                     drone.proxy.clear_uplink_loss();
                 }
-                self.actions.push(format!("t={tick} {verb} link-burst-loss"));
+                self.record(
+                    drone,
+                    "link-burst-loss",
+                    armed,
+                    format!("t={tick} {verb} link-burst-loss"),
+                );
             }
             FaultKind::BinderFailure { period } => {
                 drone.driver.set_fault_injection(if armed {
@@ -113,8 +139,8 @@ impl FaultInjector {
                 } else {
                     None
                 });
-                self.actions
-                    .push(format!("t={tick} {verb} binder-failure/{period}"));
+                let action = format!("t={tick} {verb} binder-failure/{period}");
+                self.record(drone, "binder-failure", armed, action);
             }
             FaultKind::BinderTimeout { period } => {
                 drone.driver.set_fault_injection(if armed {
@@ -125,8 +151,8 @@ impl FaultInjector {
                 } else {
                     None
                 });
-                self.actions
-                    .push(format!("t={tick} {verb} binder-timeout/{period}"));
+                let action = format!("t={tick} {verb} binder-timeout/{period}");
+                self.record(drone, "binder-timeout", armed, action);
             }
             FaultKind::ContainerCrash { target } => {
                 // A named target crashes that virtual drone; `None`
@@ -135,16 +161,17 @@ impl FaultInjector {
                 let name = match target {
                     Some(t) if drone.vdrones.contains_key(&t) => t,
                     Some(t) => {
-                        self.actions.push(format!(
-                            "t={tick} {verb} container-crash {t}: not deployed"
-                        ));
+                        let action =
+                            format!("t={tick} {verb} container-crash {t}: not deployed");
+                        self.record(drone, "container-crash", armed, action);
                         return;
                     }
                     None => match drone.vdrones.keys().next().cloned() {
                         Some(first) => first,
                         None => {
-                            self.actions
-                                .push(format!("t={tick} {verb} container-crash: no vdrones"));
+                            let action =
+                                format!("t={tick} {verb} container-crash: no vdrones");
+                            self.record(drone, "container-crash", armed, action);
                             return;
                         }
                     },
@@ -154,14 +181,11 @@ impl FaultInjector {
                 } else {
                     drone.supervised_restart_vdrone(&name)
                 };
-                match outcome {
-                    Ok(()) => self
-                        .actions
-                        .push(format!("t={tick} {verb} container-crash {name}")),
-                    Err(e) => self
-                        .actions
-                        .push(format!("t={tick} {verb} container-crash {name}: {e}")),
-                }
+                let action = match outcome {
+                    Ok(()) => format!("t={tick} {verb} container-crash {name}"),
+                    Err(e) => format!("t={tick} {verb} container-crash {name}: {e}"),
+                };
+                self.record(drone, "container-crash", armed, action);
             }
             FaultKind::BatteryDegradation { health } => {
                 let health = if armed { health } else { 1.0 };
@@ -171,10 +195,16 @@ impl FaultInjector {
                     .truth
                     .borrow_mut()
                     .battery_health = health;
-                self.actions
-                    .push(format!("t={tick} {verb} battery-degradation({health:.2})"));
+                let action = format!("t={tick} {verb} battery-degradation({health:.2})");
+                self.record(drone, "battery-degradation", armed, action);
             }
         }
+    }
+}
+
+impl FlightProbe for FaultInjector {
+    fn on_tick(&mut self, tick: u64, drone: &mut Drone) {
+        self.apply_tick(tick, drone);
     }
 }
 

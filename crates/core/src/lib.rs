@@ -28,6 +28,7 @@ pub mod drone;
 pub mod fleet;
 pub mod flight_exec;
 pub mod injector;
+pub mod probe;
 pub mod sanitizer;
 
 pub use androne::Androne;
@@ -37,12 +38,14 @@ pub use fleet::{
     TenantResolution,
 };
 pub use flight_exec::{
-    execute_flight, execute_flight_observed, EndReason, FlightLog, FlightObserver, FlightOutcome,
+    execute_flight, execute_flight_probed, AbortCheck, EndReason, FlightLog, FlightOutcome,
 };
 pub use injector::FaultInjector;
+pub use probe::{DigestProbe, FlightProbe, FlightRecorder, FnProbe, NoProbe, ProbeStack};
 pub use sanitizer::{
-    first_divergence, first_divergence_verbose, trace_flight, trace_flight_with, Divergence,
-    TickHashes, Trace, Verbosity, VerboseDivergence, VerboseTickHashes, VerboseTrace,
+    first_divergence, first_divergence_verbose, trace_flight, trace_flight_perturbed,
+    trace_flight_with, Divergence, TickHashes, Trace, Verbosity, VerboseDivergence,
+    VerboseTickHashes, VerboseTrace,
 };
 
 pub use androne_android as android;
@@ -53,6 +56,7 @@ pub use androne_energy as energy;
 pub use androne_flight as flight;
 pub use androne_hal as hal;
 pub use androne_mavlink as mavlink;
+pub use androne_obs as obs;
 pub use androne_planner as planner;
 pub use androne_sdk as sdk;
 pub use androne_simkern as simkern;

@@ -14,9 +14,13 @@
 //! which bans the constructs that cause drift; this module catches
 //! whatever slips through at runtime.
 
-use crate::drone::Drone;
-use crate::flight_exec::{execute_flight_observed, FlightObserver, FlightOutcome};
+use androne_obs::{Subsystem, TraceEvent};
 use androne_planner::FlightPlan;
+use androne_simkern::StateHasher;
+
+use crate::drone::Drone;
+use crate::flight_exec::{execute_flight_probed, FlightOutcome};
+use crate::probe::{FlightProbe, ProbeStack};
 
 /// The component hash vector observed at one tick (one simulated
 /// second).
@@ -64,6 +68,39 @@ impl std::fmt::Display for Divergence {
     }
 }
 
+/// The sanitizer's own probe: one [`Drone::component_hashes`]
+/// traversal per tick serves the recorded trace, the folded digest
+/// emitted onto the drone's trace bus as a
+/// [`TraceEvent::TickHash`], and (under [`Verbosity::Detailed`]) the
+/// fine-grained vector.
+struct HashProbe<'a> {
+    trace: &'a mut Trace,
+    verbose: Option<&'a mut VerboseTrace>,
+}
+
+impl FlightProbe for HashProbe<'_> {
+    fn on_tick(&mut self, tick: u64, drone: &mut Drone) {
+        let components = drone.component_hashes();
+        let mut h = StateHasher::new();
+        h.write_u64(tick);
+        for (name, hash) in &components {
+            h.write_str(name);
+            h.write_u64(*hash);
+        }
+        let digest = h.finish();
+        drone
+            .obs
+            .emit(Subsystem::Flight, || TraceEvent::TickHash { tick, digest });
+        if let Some(v) = self.verbose.as_mut() {
+            v.ticks.push(VerboseTickHashes {
+                tick,
+                subsystems: drone.detailed_hashes(),
+            });
+        }
+        self.trace.ticks.push(TickHashes { tick, components });
+    }
+}
+
 /// Runs `plan` on `drone` while recording the per-second hash trace.
 pub fn trace_flight(
     drone: &mut Drone,
@@ -73,28 +110,29 @@ pub fn trace_flight(
     trace_flight_perturbed(drone, plan, max_sim_seconds, None)
 }
 
-/// [`trace_flight`] with an optional extra observer applied after
-/// each tick's hashes are recorded — test harnesses use it to inject
-/// a perturbation at an exact tick in one run and verify the
-/// sanitizer localizes it.
+/// [`trace_flight`] with an optional extra probe composed after the
+/// hash recorder — test harnesses use it to inject a perturbation at
+/// an exact tick in one run and verify the sanitizer localizes it.
+/// The hash probe runs first at each hook, so a perturbation at tick
+/// `t` is recorded from tick `t + 1` on.
 pub fn trace_flight_perturbed(
     drone: &mut Drone,
     plan: FlightPlan,
     max_sim_seconds: f64,
-    mut perturb: Option<FlightObserver<'_>>,
+    perturb: Option<&mut dyn FlightProbe>,
 ) -> (FlightOutcome, Trace) {
     let mut trace = Trace::default();
     let outcome = {
-        let recorder: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
-            trace.ticks.push(TickHashes {
-                tick,
-                components: drone.component_hashes(),
-            });
-            if let Some(p) = perturb.as_mut() {
-                p(tick, drone);
-            }
-        });
-        execute_flight_observed(drone, plan, max_sim_seconds, None, Some(recorder))
+        let mut hasher = HashProbe {
+            trace: &mut trace,
+            verbose: None,
+        };
+        let mut stack = ProbeStack::new();
+        stack.push(&mut hasher);
+        if let Some(p) = perturb {
+            stack.push(p);
+        }
+        execute_flight_probed(drone, plan, max_sim_seconds, None, &mut stack)
     };
     (outcome, trace)
 }
@@ -157,19 +195,11 @@ pub fn trace_flight_with(
         Verbosity::Detailed => Some(VerboseTrace::default()),
     };
     let outcome = {
-        let recorder: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
-            trace.ticks.push(TickHashes {
-                tick,
-                components: drone.component_hashes(),
-            });
-            if let Some(v) = verbose.as_mut() {
-                v.ticks.push(VerboseTickHashes {
-                    tick,
-                    subsystems: drone.detailed_hashes(),
-                });
-            }
-        });
-        execute_flight_observed(drone, plan, max_sim_seconds, None, Some(recorder))
+        let mut hasher = HashProbe {
+            trace: &mut trace,
+            verbose: verbose.as_mut(),
+        };
+        execute_flight_probed(drone, plan, max_sim_seconds, None, &mut hasher)
     };
     (outcome, trace, verbose)
 }

@@ -10,7 +10,7 @@ use crate::scan::Token;
 /// Crates whose state participates in the deterministic simulation.
 /// Iteration order and hashing inside these crates is
 /// experiment-visible.
-pub const SIM_CRATES: &[&str] = &["simkern", "binder", "flight", "vdc", "core", "mavlink"];
+pub const SIM_CRATES: &[&str] = &["simkern", "binder", "flight", "vdc", "core", "mavlink", "obs"];
 
 /// Files in the R3 no-panic scope: hot paths where a panic aborts the
 /// whole simulated fleet instead of surfacing a typed error.
@@ -23,8 +23,9 @@ const R3_FILES: &[&str] = &[
     "crates/cloud/src/facade.rs",
     "crates/simkern/src/faults.rs",
     "crates/hal/src/faults.rs",
+    "crates/core/src/probe.rs",
 ];
-const R3_PREFIXES: &[&str] = &["crates/flight/src/"];
+const R3_PREFIXES: &[&str] = &["crates/flight/src/", "crates/obs/src/"];
 
 /// Files in the R4 wire-path scope: parsers of attacker-controlled
 /// bytes where a silent `as` truncation corrupts instead of rejects.

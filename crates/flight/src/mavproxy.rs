@@ -22,6 +22,7 @@ use std::rc::Rc;
 
 use androne_hal::GeoPoint;
 use androne_mavlink::{deg_to_e7, FlightMode, MavCmd, Message};
+use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_simkern::{LinkModel, LinkState, StateHash, StateHasher};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -145,6 +146,9 @@ pub struct MavProxy {
     link_phase: LinkFailsafePhase,
     /// Optional degraded uplink for ground-side client commands.
     uplink: Option<UplinkLoss>,
+    /// Observability handle; detached (free) unless the owning drone
+    /// attached one.
+    obs: ObsHandle,
 }
 
 impl Default for MavProxy {
@@ -168,7 +172,14 @@ impl MavProxy {
             link_cfg: LinkFailsafeConfig::default(),
             link_phase: LinkFailsafePhase::Nominal,
             uplink: None,
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attaches the shared observability handle; command verdicts and
+    /// failsafe edges are traced from then on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Adds an unrestricted connection (flight planner / provider).
@@ -228,23 +239,26 @@ impl MavProxy {
         let Some(conn) = self.clients.get_mut(name) else {
             return;
         };
-        match conn.vfc.as_mut() {
+        let verdict = match conn.vfc.as_mut() {
             None => {
-                if self.link_partitioned {
+                // Short-circuit: a partitioned link never samples the
+                // uplink model, so the RNG stream matches a build
+                // that checked the partition first.
+                if self.link_partitioned
+                    || self.uplink.as_mut().is_some_and(|up| {
+                        up.model.sample_with(&mut up.state, &mut up.rng).is_none()
+                    })
+                {
                     self.commands_dropped += 1;
-                    return;
+                    "dropped"
+                } else {
+                    // Unrestricted: straight through.
+                    let replies = sitl.handle_message(&msg);
+                    conn.outbox.extend(replies.into_iter().map(Rc::new));
+                    self.commands_forwarded += 1;
+                    conn.forwarded += 1;
+                    "forwarded"
                 }
-                if let Some(up) = self.uplink.as_mut() {
-                    if up.model.sample_with(&mut up.state, &mut up.rng).is_none() {
-                        self.commands_dropped += 1;
-                        return;
-                    }
-                }
-                // Unrestricted: straight through.
-                let replies = sitl.handle_message(&msg);
-                conn.outbox.extend(replies.into_iter().map(Rc::new));
-                self.commands_forwarded += 1;
-                conn.forwarded += 1;
             }
             Some(vfc) => match vfc.on_client_message(&msg) {
                 VfcDecision::Forward(m) => {
@@ -252,14 +266,26 @@ impl MavProxy {
                     conn.outbox.extend(replies.into_iter().map(Rc::new));
                     self.commands_forwarded += 1;
                     conn.forwarded += 1;
+                    "forwarded"
                 }
                 VfcDecision::Deny(reply) => {
                     conn.queue(reply);
                     self.commands_denied += 1;
                     conn.denied += 1;
+                    "denied"
                 }
             },
-        }
+        };
+        let counter = match verdict {
+            "forwarded" => "mav.forwarded",
+            "denied" => "mav.denied",
+            _ => "mav.dropped",
+        };
+        self.obs.count(counter, 1);
+        self.obs.emit(Subsystem::Mavlink, || TraceEvent::MavCommand {
+            client: name.to_string(),
+            verdict,
+        });
     }
 
     /// Drains a client's pending messages (telemetry + replies) as
@@ -330,6 +356,11 @@ impl MavProxy {
                         mode: FlightMode::Loiter,
                     });
                     self.link_phase = LinkFailsafePhase::Loiter;
+                    self.obs.count("mav.failsafe.loiter", 1);
+                    self.obs
+                        .emit(Subsystem::Mavlink, || TraceEvent::LinkFailsafe {
+                            phase: "loiter",
+                        });
                 }
                 LinkFailsafePhase::Loiter if self.link_down_steps >= rtl_steps => {
                     sitl.handle_message(&Message::CommandLong {
@@ -337,6 +368,11 @@ impl MavProxy {
                         params: [0.0; 7],
                     });
                     self.link_phase = LinkFailsafePhase::Rtl;
+                    self.obs.count("mav.failsafe.rtl", 1);
+                    self.obs
+                        .emit(Subsystem::Mavlink, || TraceEvent::LinkFailsafe {
+                            phase: "rtl",
+                        });
                 }
                 _ => {}
             }
@@ -347,6 +383,11 @@ impl MavProxy {
                     mode: FlightMode::Guided,
                 });
                 self.link_phase = LinkFailsafePhase::Nominal;
+                self.obs.count("mav.failsafe.restored", 1);
+                self.obs
+                    .emit(Subsystem::Mavlink, || TraceEvent::LinkFailsafe {
+                        phase: "restored",
+                    });
             }
         }
     }

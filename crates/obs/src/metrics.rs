@@ -1,0 +1,293 @@
+//! The metrics registry: counters, gauges, and fixed-bucket
+//! histograms that fold into one FNV digest.
+//!
+//! Everything here is keyed by `&'static str` and stored in
+//! `BTreeMap`s, so iteration order — and therefore the digest — is a
+//! pure function of what the simulation did. No wall-clock, no host
+//! entropy: values come from sim time and sim state only, which is
+//! what lets the dual-run sanitizer demand bit-identical metrics
+//! from two runs of the same seed.
+
+use std::collections::BTreeMap;
+
+use androne_simkern::StateHasher;
+
+/// A fixed-bucket histogram over `u64` samples (sim-nanoseconds,
+/// byte counts, ...). Bucket bounds are `&'static` and part of the
+/// metric's identity: the first `observe` pins them, and they never
+/// reallocate or rebalance, so two runs bucket identically.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 before any sample.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 before any sample.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// sample (0.0 ..= 1.0). Samples in the overflow bucket report
+    /// the observed max. Returns 0 before any sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// The registry: three namespaces (counters, gauges, histograms),
+/// each an ordered map from static name to value.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name` (creating it at 0).
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records `v` into the histogram `name`. The first call pins
+    /// `bounds`; later calls reuse the pinned bounds (passing
+    /// different bounds for the same name is a programming error and
+    /// the first bounds win).
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [u64], v: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Folds every metric — names, values, histogram buckets — into
+    /// one FNV-1a digest. Two runs of the same seed must agree on
+    /// this bit-for-bit; any drift means a metric was fed from
+    /// something the seed does not control.
+    pub fn digest(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_usize(self.counters.len());
+        for (name, v) in &self.counters {
+            h.write_str(name);
+            h.write_u64(*v);
+        }
+        h.write_usize(self.gauges.len());
+        for (name, v) in &self.gauges {
+            h.write_str(name);
+            h.write_f64(*v);
+        }
+        h.write_usize(self.histograms.len());
+        for (name, hist) in &self.histograms {
+            h.write_str(name);
+            h.write_usize(hist.bounds.len());
+            for b in hist.bounds {
+                h.write_u64(*b);
+            }
+            for c in &hist.counts {
+                h.write_u64(*c);
+            }
+            h.write_u64(hist.total);
+            h.write_u64(hist.sum);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[u64] = &[10, 100, 1_000];
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.count("x", 2);
+        m.count("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut m = MetricsRegistry::new();
+        for v in [5, 10, 11, 100, 5_000] {
+            m.observe("h", BOUNDS, v);
+        }
+        let h = m.histogram("h").expect("histogram exists");
+        assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5_126);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 5_000);
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bound() {
+        let mut m = MetricsRegistry::new();
+        for v in [1, 2, 3, 50, 5_000] {
+            m.observe("h", BOUNDS, v);
+        }
+        let h = m.histogram("h").expect("histogram exists");
+        assert_eq!(h.quantile(0.5), 10); // 3rd of 5 samples is in <=10
+        assert_eq!(h.quantile(0.8), 100);
+        assert_eq!(h.quantile(1.0), 5_000); // overflow reports max
+        assert_eq!(h.quantile(0.0), 10);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_for_same_content() {
+        let mut a = MetricsRegistry::new();
+        a.count("b", 1);
+        a.count("a", 1);
+        a.gauge_set("g", 2.5);
+        let mut b = MetricsRegistry::new();
+        b.count("a", 1);
+        b.gauge_set("g", 2.5);
+        b.count("b", 1);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_counter_from_gauge_namespaces() {
+        let mut a = MetricsRegistry::new();
+        a.count("x", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("x", 1.0);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_sees_histogram_shape() {
+        let mut a = MetricsRegistry::new();
+        a.observe("h", BOUNDS, 5);
+        let mut b = MetricsRegistry::new();
+        b.observe("h", BOUNDS, 50);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

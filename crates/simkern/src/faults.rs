@@ -430,6 +430,12 @@ impl FleetFaultPlan {
     /// drawn from the shared-environment family (GPS denial, link
     /// partition/fade, battery weather); cloud faults use single-wave
     /// windows so the fleet always makes progress between outages.
+    ///
+    /// The per-flight family spans every [`FaultKind`] except
+    /// [`FaultKind::LinkPartition`], which is correlated-only: a
+    /// partition long enough to matter latches the RTL failsafe on
+    /// every flight sharing the link, so it is modeled as a shared
+    /// environment event rather than a single-drone one.
     pub fn generate(
         seed: u64,
         n_flights: usize,
@@ -445,20 +451,21 @@ impl FleetFaultPlan {
             let count = rng.gen_range(0..=2);
             let mut events = Vec::with_capacity(count);
             for _ in 0..count {
-                let kind = match rng.gen_range(0..8u32) {
-                    0 => FaultKind::SensorStuck { channel: FaultPlan::pick_channel(&mut rng) },
-                    1 => FaultKind::SensorBias {
+                let kind = match rng.gen_range(0..9u32) {
+                    0 => FaultKind::SensorDropout { channel: FaultPlan::pick_channel(&mut rng) },
+                    1 => FaultKind::SensorStuck { channel: FaultPlan::pick_channel(&mut rng) },
+                    2 => FaultKind::SensorBias {
                         channel: FaultPlan::pick_channel(&mut rng),
                         bias: rng.gen_range(-1.5..1.5),
                     },
-                    2 => FaultKind::GpsLoss,
-                    3 => FaultKind::LinkBurstLoss { burst: BurstLoss::cellular_fade() },
-                    4 => FaultKind::BinderFailure { period: rng.gen_range(2..6) },
-                    5 => FaultKind::BinderTimeout { period: rng.gen_range(2..6) },
-                    6 if !tenants.is_empty() => FaultKind::ContainerCrash {
+                    3 => FaultKind::GpsLoss,
+                    4 => FaultKind::LinkBurstLoss { burst: BurstLoss::cellular_fade() },
+                    5 => FaultKind::BinderFailure { period: rng.gen_range(2..6) },
+                    6 => FaultKind::BinderTimeout { period: rng.gen_range(2..6) },
+                    7 if !tenants.is_empty() => FaultKind::ContainerCrash {
                         target: FaultPlan::pick_target(&mut rng, tenants),
                     },
-                    6 => FaultKind::GpsLoss,
+                    7 => FaultKind::GpsLoss,
                     _ => FaultKind::BatteryDegradation { health: rng.gen_range(0.7..0.95) },
                 };
                 let arm_tick = rng.gen_range(4..4 + arm_span);
@@ -644,6 +651,52 @@ mod tests {
                 FaultPlan::generate_targeted(seed, 120, &[]),
             );
         }
+    }
+
+    #[test]
+    fn seed_sweep_reaches_every_fault_kind() {
+        let targets = vec!["vd-a".to_string()];
+        let mut seen = [false; 10];
+        for seed in 0..512 {
+            for e in &FaultPlan::generate_targeted(seed, 120, &targets).events {
+                seen[e.kind.tag() as usize] = true;
+            }
+        }
+        for (tag, hit) in seen.iter().enumerate() {
+            assert!(hit, "FaultKind tag {tag} never drawn across 512 seeds");
+        }
+    }
+
+    #[test]
+    fn fleet_seed_sweep_reaches_every_fault_kind() {
+        let tenants = vec!["vd-a".to_string(), "vd-b".to_string()];
+        let mut flight_seen = [false; 10];
+        let mut cloud_seen = [false; 4];
+        let mut named_crash = false;
+        for seed in 0..512 {
+            let plan = FleetFaultPlan::generate(seed, 3, &tenants, 90);
+            for e in plan.flights.iter().flat_map(|p| p.events.iter()) {
+                flight_seen[e.kind.tag() as usize] = true;
+                if matches!(&e.kind, FaultKind::ContainerCrash { target: Some(_) }) {
+                    named_crash = true;
+                }
+            }
+            for e in &plan.correlated {
+                flight_seen[e.kind.tag() as usize] = true;
+            }
+            for e in &plan.cloud {
+                cloud_seen[e.kind.tag() as usize] = true;
+            }
+        }
+        // LinkPartition (tag 4) is correlated-only by design; folding
+        // correlated events in, every FaultKind must be reachable.
+        for (tag, hit) in flight_seen.iter().enumerate() {
+            assert!(hit, "FaultKind tag {tag} unreachable from fleet plans");
+        }
+        for (tag, hit) in cloud_seen.iter().enumerate() {
+            assert!(hit, "CloudFaultKind tag {tag} unreachable from fleet plans");
+        }
+        assert!(named_crash, "no named container crash across 512 seeds");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::rc::Rc;
 
 use androne_android::{svc_codes, svc_names, DeviceClass};
 use androne_binder::{get_service, BinderDriver, Parcel};
+use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_simkern::{ContainerId, Kernel, Pid, StateHash, StateHasher};
 
 use crate::access::{AccessTable, FlightPhase};
@@ -157,6 +158,9 @@ pub struct Vdc {
     binder_pid: Option<Pid>,
     /// Opt-in watchdog thresholds; `None` disables revocation.
     watchdog: Option<WatchdogConfig>,
+    /// Observability handle; detached (free) unless the owning drone
+    /// attached one.
+    obs: ObsHandle,
 }
 
 impl Vdc {
@@ -168,7 +172,14 @@ impl Vdc {
             by_container: BTreeMap::new(),
             binder_pid: None,
             watchdog: None,
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attaches the shared observability handle; allotment decisions
+    /// are traced from then on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// The shared access table (to hand to device services as their
@@ -201,6 +212,12 @@ impl Vdc {
             self.access
                 .borrow_mut()
                 .set_phase(rec.container, FlightPhase::Finished);
+            self.obs.count("vdc.watchdog_revocations", 1);
+            self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+                vdrone: name.to_string(),
+                decision: "watchdog-revoked",
+                detail: String::new(),
+            });
         }
     }
 
@@ -299,6 +316,12 @@ impl Vdc {
         self.access
             .borrow_mut()
             .set_phase(container, FlightPhase::AtWaypoint(index));
+        self.obs.count("vdc.waypoint_arrivals", 1);
+        self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+            vdrone: name.to_string(),
+            decision: "waypoint-arrived",
+            detail: format!("wp{index}"),
+        });
 
         // Privacy: suspend other parties' continuous devices.
         let others: Vec<String> = self
@@ -333,6 +356,12 @@ impl Vdc {
                 FlightPhase::Transit
             },
         );
+        self.obs.count("vdc.waypoint_departures", 1);
+        self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+            vdrone: name.to_string(),
+            decision: "waypoint-departed",
+            detail: format!("wp{index} finished={finished}"),
+        });
 
         // Resume other parties' continuous devices.
         let others: Vec<String> = self
@@ -353,6 +382,12 @@ impl Vdc {
     pub fn on_geofence_breached(&mut self, name: &str) {
         if let Some(rec) = self.records.get_mut(name) {
             rec.events.push_back(VdcEvent::GeofenceBreached);
+            self.obs.count("vdc.geofence_breaches", 1);
+            self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+                vdrone: name.to_string(),
+                decision: "geofence-breached",
+                detail: String::new(),
+            });
         }
     }
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Trace/black-box smoke gate.
+#
+# Runs the blackbox_recorder example — a mission flown twice into an
+# unhealed link partition with the dual-run metric-digest assertion
+# inside — and greps the combined JSON dump for the contract keys
+# offline tooling relies on: the black box (end reason, windowed
+# records), the metrics registry (counters/gauges/histograms), and
+# the FNV digest. Exits nonzero if the example fails its internal
+# determinism asserts or the JSON loses a key.
+#
+# Usage: scripts/trace.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== trace gate (black-box recorder + metrics JSON) =="
+OUT="$(cargo run -q --release --example blackbox_recorder)"
+
+for key in black_box end_reason LinkLost records link_failsafe \
+           metrics counters gauges histograms digest metrics_digest \
+           mav.failsafe.rtl binder.latency_ns flight.duration_s; do
+    if ! grep -qF "$key" <<<"$OUT"; then
+        echo "FAIL: key '$key' missing from blackbox_recorder output" >&2
+        exit 1
+    fi
+done
+
+echo "PASS: black box + metrics JSON carry all contract keys"

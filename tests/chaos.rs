@@ -20,13 +20,12 @@
 //! observed by an injector with an empty plan must reproduce the
 //! exact bits captured before the fault kernel existed.
 
-use androne::flight_exec::FlightObserver;
 use androne::hal::GeoPoint;
 use androne::planner::{FlightPlan, Leg};
 use androne::sanitizer::{first_divergence, TickHashes, Trace};
 use androne::simkern::{BurstLoss, FaultKind, FaultPlan, SensorChannel};
 use androne::vdc::{VirtualDroneSpec, WatchdogConfig, WaypointSpec};
-use androne::{execute_flight_observed, Drone, EndReason, FaultInjector, FlightLog};
+use androne::{execute_flight_probed, Drone, EndReason, FaultInjector, FlightLog, FnProbe, ProbeStack};
 use rand::RngCore;
 
 const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
@@ -113,8 +112,7 @@ fn run_with_faults_configured(
     let mut trace = Trace::default();
     let mut max_base_distance_m: f64 = 0.0;
     let outcome = {
-        let observer: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
-            injector.apply_tick(tick, drone);
+        let mut recorder = FnProbe::new(|tick, drone: &mut Drone| {
             trace.ticks.push(TickHashes {
                 tick,
                 components: drone.component_hashes(),
@@ -124,7 +122,10 @@ fn run_with_faults_configured(
                 max_base_distance_m = d;
             }
         });
-        execute_flight_observed(&mut drone, plan(), MAX_SIM_S, None, Some(observer))
+        let mut probes = ProbeStack::new();
+        probes.push(&mut injector);
+        probes.push(&mut recorder);
+        execute_flight_probed(&mut drone, plan(), MAX_SIM_S, None, &mut probes)
     };
     let (vd1_billed_j, final_container) = {
         let vdc = drone.vdc.borrow();
@@ -241,14 +242,16 @@ fn empty_fault_plan_is_bit_identical_to_baseline() {
     let mut injector = FaultInjector::new(FaultPlan::empty());
     let mut trace = Trace::default();
     let outcome = {
-        let observer: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
-            injector.apply_tick(tick, drone);
+        let mut recorder = FnProbe::new(|tick, drone: &mut Drone| {
             trace.ticks.push(TickHashes {
                 tick,
                 components: drone.component_hashes(),
             });
         });
-        execute_flight_observed(&mut drone, plan(), MAX_SIM_S, None, Some(observer))
+        let mut probes = ProbeStack::new();
+        probes.push(&mut injector);
+        probes.push(&mut recorder);
+        execute_flight_probed(&mut drone, plan(), MAX_SIM_S, None, &mut probes)
     };
     // Captured from the seed revision (pre-fault-kernel) at SEED=1337.
     assert!(outcome.completed);

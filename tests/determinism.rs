@@ -5,12 +5,12 @@
 //! with a mid-flight perturbation must be localized by the sanitizer
 //! to the exact tick and component.
 
-use androne::flight_exec::FlightObserver;
 use androne::hal::GeoPoint;
 use androne::planner::{FlightPlan, Leg};
 use androne::sanitizer::{first_divergence, trace_flight, trace_flight_perturbed, Trace};
+use androne::simkern::FaultPlan;
 use androne::vdc::{VirtualDroneSpec, WaypointSpec};
-use androne::Drone;
+use androne::{execute_flight_probed, Drone, FaultInjector, FlightProbe, FnProbe};
 
 const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
 const SEED: u64 = 1337;
@@ -53,7 +53,7 @@ fn plan() -> FlightPlan {
     }
 }
 
-fn traced_mission(perturb: Option<FlightObserver<'_>>) -> Trace {
+fn traced_mission(perturb: Option<&mut dyn FlightProbe>) -> Trace {
     let mut drone = Drone::boot(BASE, SEED).expect("boot");
     drone
         .deploy_vdrone("vd1", spec(vec![wp(60.0, 0.0, 40.0)]), &[])
@@ -78,11 +78,12 @@ fn sanitizer_bisects_injected_perturbation_to_its_tick() {
     let a = traced_mission(None);
     // Perturb the VDC's energy accounting at tick 12 of run B — the
     // kind of single-component drift an unordered map would cause.
-    let b = traced_mission(Some(Box::new(|tick, drone: &mut Drone| {
+    let mut perturb = FnProbe::new(|tick, drone: &mut Drone| {
         if tick == 12 {
             drone.vdc.borrow_mut().charge_energy("vd1", 0.125);
         }
-    })));
+    });
+    let b = traced_mission(Some(&mut perturb));
     let d = first_divergence(&a, &b).expect("perturbation must be caught");
     // The perturbation lands after tick 12's hashes were recorded, so
     // the first divergent observation is tick 13.
@@ -96,6 +97,33 @@ fn sanitizer_bisects_injected_perturbation_to_its_tick() {
         "physics unaffected at the first divergent tick: {d}"
     );
     assert_eq!(d.first.len(), d.second.len());
+}
+
+/// Boots, deploys, and flies the standard mission under a generated
+/// chaos plan, returning the drone's metric-registry digest.
+fn chaos_metrics_digest(chaos_seed: u64) -> u64 {
+    let mut drone = Drone::boot(BASE, SEED).expect("boot");
+    drone
+        .deploy_vdrone("vd1", spec(vec![wp(60.0, 0.0, 40.0)]), &[])
+        .expect("deploy");
+    let mut injector = FaultInjector::new(FaultPlan::generate(chaos_seed, 60));
+    let outcome = execute_flight_probed(&mut drone, plan(), 240.0, None, &mut injector);
+    assert!(outcome.duration_s > 0.0);
+    drone.obs.metrics_digest()
+}
+
+/// The observability layer itself must be deterministic: two runs of
+/// the same chaos seed produce bit-identical metric digests, for
+/// every seed in the sweep. A digest mismatch means some emission
+/// depended on wall-clock time, iteration order, or an RNG draw.
+#[test]
+fn dual_run_metric_digests_are_bit_identical_across_chaos_seeds() {
+    for chaos_seed in [0x0b51, 0x0b52, 0x0b53, 0x0b54, 0x0b55, 0x0b56, 0x0b57, 0x0b58] {
+        let a = chaos_metrics_digest(chaos_seed);
+        let b = chaos_metrics_digest(chaos_seed);
+        assert_eq!(a, b, "metric digest drift under chaos seed {chaos_seed:#x}");
+        assert_ne!(a, 0, "chaos flight must emit metrics (seed {chaos_seed:#x})");
+    }
 }
 
 #[test]

@@ -25,7 +25,6 @@
 
 use androne::android::DeviceClass;
 use androne::fleet::{execute_fleet, FleetConfig, FleetOutcome, FleetTenant, TenantResolution};
-use androne::flight_exec::FlightObserver;
 use androne::hal::GeoPoint;
 use androne::mavlink::{deg_to_e7, Message};
 use androne::sanitizer::{TickHashes, Trace};
@@ -33,7 +32,7 @@ use androne::simkern::{
     CloudFaultEvent, CloudFaultKind, FaultEvent, FaultKind, FaultPlan, FleetFaultPlan,
 };
 use androne::vdc::{VirtualDroneSpec, WatchdogConfig, WaypointSpec};
-use androne::{execute_flight_observed, Drone, EndReason, FaultInjector, FlightLog};
+use androne::{execute_flight_probed, Drone, EndReason, FaultInjector, FlightLog, FnProbe, ProbeStack};
 use rand::RngCore;
 
 const BASE: GeoPoint = GeoPoint::new(43.6084298, -85.8110359, 0.0);
@@ -292,14 +291,16 @@ fn empty_fleet_plan_is_bit_identical_to_pr3_baseline() {
     let mut injector = FaultInjector::new(fleet.effective_plan(0));
     let mut trace = Trace::default();
     let outcome = {
-        let observer: FlightObserver<'_> = Box::new(|tick, drone: &mut Drone| {
-            injector.apply_tick(tick, drone);
+        let mut recorder = FnProbe::new(|tick, drone: &mut Drone| {
             trace.ticks.push(TickHashes {
                 tick,
                 components: drone.component_hashes(),
             });
         });
-        execute_flight_observed(&mut drone, pr3_plan(), MAX_SIM_S, None, Some(observer))
+        let mut probes = ProbeStack::new();
+        probes.push(&mut injector);
+        probes.push(&mut recorder);
+        execute_flight_probed(&mut drone, pr3_plan(), MAX_SIM_S, None, &mut probes)
     };
     // The PR 3 baseline literals, captured at SEED=1337.
     assert!(outcome.completed);
@@ -432,7 +433,7 @@ fn progress_watchdog_revokes_busy_loop_but_spares_heartbeats() {
         drone.deploy_vdrone("vd1", pr3_spec(), &[]).expect("deploy");
         drone.vdc.borrow_mut().set_watchdog(Some(watchdog));
         let outcome = {
-            let observer: FlightObserver<'_> = Box::new(|_tick, d: &mut Drone| {
+            let mut observer = FnProbe::new(|_tick, d: &mut Drone| {
                 if d.allows("vd1", DeviceClass::Camera) {
                     // Busy loop: a whitelisted, in-fence command every
                     // second — the stall counter never fires.
@@ -451,7 +452,7 @@ fn progress_watchdog_revokes_busy_loop_but_spares_heartbeats() {
                     }
                 }
             });
-            execute_flight_observed(&mut drone, pr3_plan(), MAX_SIM_S, None, Some(observer))
+            execute_flight_probed(&mut drone, pr3_plan(), MAX_SIM_S, None, &mut observer)
         };
         outcome.log
     };
