@@ -639,14 +639,14 @@ fn main() {
                 ("echo_roundtrip_measured", Value::Number(echo_speedup)),
                 ("fanout_n8_min", Value::Number(3.0)),
                 ("fanout_n8_measured", Value::Number(fanout8_speedup)),
-                ("parcel_translate_min", Value::Number(1.5)),
+                ("parcel_translate_min", Value::Number(1.8)),
                 ("parcel_translate_measured", Value::Number(translate_speedup)),
                 (
                     "pass",
                     Value::Bool(
                         echo_speedup >= 2.0
                             && fanout8_speedup >= 3.0
-                            && translate_speedup >= 1.5,
+                            && translate_speedup >= 1.8,
                     ),
                 ),
             ]),
@@ -658,6 +658,6 @@ fn main() {
     });
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&out_path, json + "\n").expect("write bench report");
-    println!("\nspeedups: echo {echo_speedup:.2}x (gate 2.0x), 8-client fan-out {fanout8_speedup:.2}x (gate 3.0x), parcel translate {translate_speedup:.2}x (gate 1.5x)");
+    println!("\nspeedups: echo {echo_speedup:.2}x (gate 2.0x), 8-client fan-out {fanout8_speedup:.2}x (gate 3.0x), parcel translate {translate_speedup:.2}x (gate 1.8x)");
     println!("report written to {out_path}");
 }

@@ -410,15 +410,20 @@ impl BinderDriver {
     }
 
     /// Translates one binder handle from `from`'s table into `to`'s,
-    /// memoizing the result. Handle 0 is excluded from the cache
-    /// because the Context Manager it aliases can change.
-    fn translate_handle(&mut self, from: Pid, to: Pid, handle: u32) -> Result<u32, BinderError> {
+    /// memoizing the result in the caller-held `slab` (the
+    /// `(from, to)` translation-cache entry, checked out once per
+    /// parcel by [`Self::translate_parcel`]). Handle 0 is excluded
+    /// from the cache because the Context Manager it aliases can
+    /// change.
+    fn translate_handle(
+        &mut self,
+        from: Pid,
+        to: Pid,
+        handle: u32,
+        slab: &mut Option<Vec<u32>>,
+    ) -> Result<u32, BinderError> {
         if handle != 0 {
-            if let Some(&dst) = self
-                .translation_cache
-                .get(&(from, to))
-                .and_then(|slab| slab.get(handle as usize))
-            {
+            if let Some(&dst) = slab.as_ref().and_then(|s| s.get(handle as usize)) {
                 if dst != NO_HANDLE {
                     return Ok(dst);
                 }
@@ -427,12 +432,12 @@ impl BinderDriver {
         let node = self.resolve_handle(from, handle)?;
         let dst = self.proc_mut(to)?.insert_handle(node);
         if handle != 0 {
-            let slab = self.translation_cache.entry((from, to)).or_default();
+            let s = slab.get_or_insert_with(Vec::new);
             let idx = handle as usize;
-            if slab.len() <= idx {
-                slab.resize(idx + 1, NO_HANDLE);
+            if s.len() <= idx {
+                s.resize(idx + 1, NO_HANDLE);
             }
-            slab[idx] = dst;
+            s[idx] = dst;
         }
         Ok(dst)
     }
@@ -443,6 +448,11 @@ impl BinderDriver {
     /// Scalar-only parcels (no handles, no fds — the bulk of sensor
     /// and telemetry traffic) return immediately without touching
     /// the parcel's copy-on-write storage.
+    ///
+    /// Handle-bearing parcels check the `(from, to)` cache slab out
+    /// of the translation cache **once** and run every handle in the
+    /// parcel against the local `Vec` — one tree lookup per parcel
+    /// instead of one (two, on a miss) per handle.
     fn translate_parcel(
         &mut self,
         parcel: &mut Parcel,
@@ -456,9 +466,29 @@ impl BinderDriver {
             self.proc(to)?;
             return Ok(());
         }
+        let mut slab = self.translation_cache.remove(&(from, to));
+        let result = self.translate_values(parcel, from, to, &mut slab);
+        // Restore the slab before surfacing any error, so entries
+        // written for handles earlier in a failing parcel persist
+        // exactly as the per-handle path left them. Slabs are only
+        // ever created non-empty, so a None→None round trip leaves
+        // the cache's key set (and its state hash) untouched.
+        if let Some(slab) = slab {
+            self.translation_cache.insert((from, to), slab);
+        }
+        result
+    }
+
+    fn translate_values(
+        &mut self,
+        parcel: &mut Parcel,
+        from: Pid,
+        to: Pid,
+        slab: &mut Option<Vec<u32>>,
+    ) -> Result<(), BinderError> {
         for v in parcel.values_mut() {
             match v {
-                PValue::Binder(h) => *h = self.translate_handle(from, to, *h)?,
+                PValue::Binder(h) => *h = self.translate_handle(from, to, *h, slab)?,
                 PValue::Fd(fd) => {
                     let file = self
                         .proc(from)?

@@ -8,15 +8,20 @@
 use androne_energy::{BatteryPack, BillingLedger, DorlingModel};
 use androne_hal::GeoPoint;
 use androne_planner::{FlightPlan, RouteConstraints, VrpProblem, WaypointTask};
+use androne_simkern::BoardMemoryProfile;
 
-/// How many virtual drones one physical drone can host per flight.
+/// How many virtual drones one physical drone can host per flight —
+/// derived from the board memory profile, not hardcoded.
 ///
 /// The 880 MiB board (Figure 12) less the host OS + VDC (95 MiB),
 /// device container (110 MiB), and flight container (40 MiB) leaves
 /// 635 MiB — room for three 185 MiB virtual-drone containers but not
 /// four. An energy-feasible route carrying a fourth tenant would OOM
 /// at deploy, so the planner treats this as a hard route capacity.
-pub const MAX_VDRONES_PER_FLIGHT: usize = 3;
+/// [`BoardMemoryProfile::rpi3`] itemizes exactly that budget, and
+/// the division evaluates to 3 at compile time; a different board
+/// profile reflows the cap without touching the planner.
+pub const MAX_VDRONES_PER_FLIGHT: usize = BoardMemoryProfile::rpi3().max_vdrones();
 
 use crate::appstore::AppStore;
 use crate::portal::{PlacedOrder, Portal};
@@ -233,6 +238,13 @@ mod tests {
             flexible_schedule: true,
         };
         cloud.portal.place_order(&cloud.app_store, req).unwrap()
+    }
+
+    #[test]
+    fn derived_party_cap_matches_the_paper_prototype() {
+        // The profile-derived capacity must reproduce the historical
+        // hardcoded 3-cap exactly on the default (RPi3) board.
+        assert_eq!(MAX_VDRONES_PER_FLIGHT, 3);
     }
 
     #[test]

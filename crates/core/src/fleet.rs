@@ -22,18 +22,40 @@
 //! orders, and the RNG streams never observe wall clock. Two runs of
 //! [`execute_fleet`] with equal inputs are bit-identical — the fleet
 //! chaos gate's first invariant.
+//!
+//! ## Deterministic parallel waves
+//!
+//! The fly phase runs on a [`WorkerPool`](crate::pool::WorkerPool)
+//! when [`FleetConfig::threads`] > 1. Each flight becomes a
+//! single-threaded *island*: a `Send`-able work item (the plan, the
+//! deploy sources, the effective fault plan, and the flight's RNG
+//! substream seed) that boots its own drone on a worker thread. The
+//! drone's `Rc`/`RefCell` hot paths never cross a thread. Cloud-side
+//! effects — VDR commits, billing, degraded-mode log lines, flight
+//! ids — are replayed at a *merge* step in plan order, so the cloud
+//! observes the exact sequential history regardless of which worker
+//! finished first. Per-flight seeds and fault plans depend on the
+//! global flight index, and a scrapped flight consumes no index, so
+//! the driver assigns indices speculatively and re-runs any island
+//! whose index shifted until the assignment is a fixpoint. The
+//! result: `fleet_digest()`, every tenant's `outcome_bits()`, and
+//! the merged metrics digest are bit-identical at any thread count,
+//! and `threads = 1` is byte-identical to the historical sequential
+//! executor.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use androne_cloud::{FallibleCloud, PlacedOrder, SaveReason, SavedVirtualDrone};
 use androne_hal::GeoPoint;
-use androne_obs::ObsHandle;
-use androne_simkern::{FleetFaultPlan, StateHasher};
+use androne_obs::{MetricsRegistry, ObsHandle, Subsystem, TraceSegment};
+use androne_planner::FlightPlan;
+use androne_simkern::{substream_seed, FaultPlan, FleetFaultPlan, StateHasher};
 use androne_vdc::{VirtualDroneSpec, WatchdogConfig};
 
 use crate::drone::{Drone, DroneError};
 use crate::flight_exec::{execute_flight_probed, EndReason, FlightLog};
 use crate::injector::FaultInjector;
+use crate::pool::{WorkerError, WorkerPool};
 use crate::probe::{DigestProbe, ProbeStack};
 
 /// One customer order in a fleet run.
@@ -64,6 +86,10 @@ pub struct FleetConfig {
     pub max_sim_seconds: f64,
     /// VDC watchdog for every flight (`None` disables it).
     pub watchdog: Option<WatchdogConfig>,
+    /// Worker threads for the fly phase. `0` and `1` both run
+    /// sequentially on the caller's thread; any width produces
+    /// bit-identical output (see the module docs).
+    pub threads: usize,
 }
 
 /// How a tenant's order ended.
@@ -174,6 +200,10 @@ pub struct FleetOutcome {
     pub cloud_log: Vec<String>,
     /// Simulated backoff the cloud spent in storage retries, ns.
     pub cloud_backoff_ns: u64,
+    /// Every flight's metrics registry merged in flight-index order,
+    /// then the cloud façade's own registry — the run's aggregate
+    /// observability view. Deterministic at any thread count.
+    pub metrics: MetricsRegistry,
 }
 
 impl FleetOutcome {
@@ -208,6 +238,13 @@ impl FleetOutcome {
         h.write_u64(self.cloud_backoff_ns);
         h.finish()
     }
+
+    /// Digest of the merged metrics registry. Compared across thread
+    /// counts by the fleet chaos gate: parallel execution must merge
+    /// to the exact registry the sequential run accumulates.
+    pub fn metrics_digest(&self) -> u64 {
+        self.metrics.digest()
+    }
 }
 
 fn end_reason_tag(r: EndReason) -> u8 {
@@ -223,13 +260,11 @@ fn end_reason_tag(r: EndReason) -> u8 {
 
 /// The per-flight kernel seed: a pure FNV mix of the run seed, the
 /// wave, and the global flight index. No hidden counters — replaying
-/// the same (config, plan) replays the same seeds.
+/// the same (config, plan) replays the same seeds. Delegates to the
+/// kernel's substream derivation so every seed consumer agrees on
+/// the fold.
 fn flight_seed(run_seed: u64, wave: u64, flight_index: usize) -> u64 {
-    let mut h = StateHasher::new();
-    h.write_u64(run_seed);
-    h.write_u64(wave);
-    h.write_usize(flight_index);
-    h.finish()
+    substream_seed(run_seed, wave, flight_index)
 }
 
 /// Mutable per-tenant bookkeeping while the run is in progress.
@@ -246,6 +281,241 @@ struct TenantState {
     resolution: Option<TenantResolution>,
 }
 
+/// Where a virtual drone aboard a flight comes from: a leased VDR
+/// checkout (resume) or the tenant's fresh order spec. Captured at
+/// partition time so the island owns everything it deploys.
+#[derive(Clone)]
+enum OwnerSource {
+    Resume(SavedVirtualDrone),
+    Fresh(VirtualDroneSpec),
+}
+
+/// One plan's fate for the current wave, decided at partition time
+/// against the wave's lease map and tenant states.
+enum Disposition {
+    /// An aboard drone cannot be produced this wave; the plan defers.
+    /// The deferral log line is emitted at merge, in plan order.
+    Deferred,
+    /// The plan flies as an island. `sources` is parallel to
+    /// `owners` (both in sorted-owner order).
+    Fly {
+        plan: FlightPlan,
+        owners: Vec<String>,
+        sources: Vec<OwnerSource>,
+    },
+}
+
+/// The `Send`-able work item one island executes: everything a flight
+/// needs, owned, with no cloud access.
+struct PlanWork {
+    plan: FlightPlan,
+    owners: Vec<String>,
+    sources: Vec<OwnerSource>,
+    seed: u64,
+    fault_plan: FaultPlan,
+    base: GeoPoint,
+    max_sim_seconds: f64,
+    watchdog: Option<WatchdogConfig>,
+    flight_index: usize,
+}
+
+/// Per-owner bookkeeping an island brings back for the merge step.
+struct OwnerPost {
+    owner: String,
+    wp_prior: usize,
+    flights_prior: u32,
+    energy_used: f64,
+    time_used: f64,
+    completed_all: bool,
+    wp_flight: usize,
+    rem_e: f64,
+    rem_t: f64,
+    revoked: bool,
+    file_data: Vec<(String, bytes::Bytes)>,
+    archive: androne_container::ContainerArchive,
+    app_state: String,
+}
+
+/// A flight that actually flew, ready to merge.
+struct IslandFlight {
+    completed: bool,
+    end_reason: EndReason,
+    duration_s: f64,
+    total_energy_j: f64,
+    trace_digest: u64,
+    injected: Vec<String>,
+    /// In sorted-owner order, matching the legacy per-owner loop.
+    per_owner: Vec<OwnerPost>,
+    /// The drone's full metrics registry, merged into the fleet
+    /// registry at the flight's index position.
+    metrics: MetricsRegistry,
+    /// The drone's fault-injector trace records, absorbed into the
+    /// cloud bus at merge for a fleet-wide fault timeline.
+    fault_trace: TraceSegment,
+}
+
+/// What an island produced.
+enum IslandVerdict {
+    /// A deploy failed; the flight never flew and consumes no flight
+    /// index. `error` is the failing deploy's rendered error.
+    Scrapped { owner: String, error: String },
+    /// The flight flew (possibly aborted mid-air — that is still a
+    /// flown flight with a record and an index).
+    Flew(Box<IslandFlight>),
+}
+
+/// An island run's full outcome as cached by the speculation loop:
+/// contained panic, fatal drone error, or a verdict.
+type IslandOutcome = Result<Result<IslandVerdict, DroneError>, WorkerError>;
+
+/// Whether this outcome consumes a flight index. Scraps and panics
+/// never flew: the next flyable plan takes the index instead, which
+/// is why index assignment is speculative.
+fn consumes_index(out: &IslandOutcome) -> bool {
+    matches!(out, Ok(Ok(IslandVerdict::Flew(_))) | Ok(Err(_)))
+}
+
+/// Runs one flight as a single-threaded island: boot, deploy, fly,
+/// and per-owner post-flight reads — no cloud access anywhere.
+/// `panic_flight` is the chaos hook: an injected worker panic at a
+/// chosen flight index, exercised by the containment tests.
+fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdict, DroneError> {
+    if panic_flight == Some(item.flight_index) {
+        // dronelint:allow(R3, chaos-injection hook: the panic IS the fault under test, and the pool's catch_unwind containment is the behavior being verified)
+        panic!("worker chaos: injected panic at flight {}", item.flight_index);
+    }
+    let mut drone = Drone::boot(item.base, item.seed)?;
+    let mut prior: BTreeMap<String, (usize, u32)> = BTreeMap::new();
+    for (owner, source) in item.owners.iter().zip(item.sources.iter()) {
+        let failed = match source {
+            OwnerSource::Resume(saved) => {
+                let spec = saved.resume_spec().unwrap_or_else(|| saved.spec.clone());
+                match drone.deploy_from_archive(&saved.archive, spec, &[], &saved.app_state) {
+                    Ok(_) => {
+                        let wp = if saved.resumable() {
+                            saved.waypoints_completed
+                        } else {
+                            0
+                        };
+                        prior.insert(owner.clone(), (wp, saved.flights_flown));
+                        None
+                    }
+                    Err(e) => Some(e),
+                }
+            }
+            OwnerSource::Fresh(spec) => match drone.deploy_vdrone(owner, spec.clone(), &[]) {
+                Ok(_) => {
+                    prior.insert(owner.clone(), (0, 0));
+                    None
+                }
+                Err(e) => Some(e),
+            },
+        };
+        if let Some(e) = failed {
+            return Ok(IslandVerdict::Scrapped {
+                owner: owner.clone(),
+                error: e.to_string(),
+            });
+        }
+    }
+    drone.vdc.borrow_mut().set_watchdog(item.watchdog);
+
+    let mut injector = FaultInjector::new(item.fault_plan);
+    let mut digest = DigestProbe::new();
+    let outcome = {
+        let mut probes = ProbeStack::new();
+        probes.push(&mut injector);
+        probes.push(&mut digest);
+        execute_flight_probed(
+            &mut drone,
+            item.plan,
+            item.max_sim_seconds,
+            None,
+            &mut probes,
+        )
+    };
+
+    let mut per_owner: Vec<OwnerPost> = Vec::new();
+    for owner in item.owners.iter() {
+        // A crash window that crossed the flight's end leaves its
+        // checkpoint pending; restore before saving.
+        if drone.pending_restarts.contains_key(owner) {
+            drone.supervised_restart_vdrone(owner)?;
+        }
+        let (files, energy_used, time_used, completed_all, wp_flight, rem_e, rem_t) = {
+            let vdc = drone.vdc.borrow();
+            let rec = vdc.record(owner);
+            (
+                rec.map(|r| r.marked_files.clone()).unwrap_or_default(),
+                rec.map(|r| r.spec.energy_allotted - r.energy_remaining_j())
+                    .unwrap_or(0.0),
+                rec.map(|r| r.spec.max_duration - r.time_remaining_s())
+                    .unwrap_or(0.0),
+                rec.map(|r| r.waypoints_completed() >= r.spec.waypoints.len())
+                    .unwrap_or(false),
+                rec.map(|r| r.waypoints_completed()).unwrap_or(0),
+                rec.map(|r| r.energy_remaining_j()).unwrap_or(0.0),
+                rec.map(|r| r.time_remaining_s()).unwrap_or(0.0),
+            )
+        };
+        let file_data: Vec<(String, bytes::Bytes)> = files
+            .into_iter()
+            .map(|path| {
+                let data = drone
+                    .runtime
+                    .get(owner)
+                    .and_then(|c| c.fs.read(&path))
+                    .unwrap_or_else(|| bytes::Bytes::from_static(b""));
+                (path, data)
+            })
+            .collect();
+        let revoked = outcome.log.iter().any(|e| {
+            matches!(
+                e,
+                FlightLog::WaypointEnd {
+                    owner: o,
+                    reason: EndReason::WatchdogRevoked,
+                    ..
+                } if o == owner
+            )
+        });
+        let (wp_prior, flights_prior) = prior.get(owner).copied().unwrap_or((0, 0));
+        let (archive, app_state) = drone.save_vdrone(owner)?;
+        per_owner.push(OwnerPost {
+            owner: owner.clone(),
+            wp_prior,
+            flights_prior,
+            energy_used,
+            time_used,
+            completed_all,
+            wp_flight,
+            rem_e,
+            rem_t,
+            revoked,
+            file_data,
+            archive,
+            app_state,
+        });
+    }
+
+    let metrics = drone.obs.with(|o| o.metrics.clone()).unwrap_or_default();
+    let fault_trace = drone
+        .obs
+        .with(|o| o.trace.segment(&[Subsystem::Fault]))
+        .unwrap_or_default();
+    Ok(IslandVerdict::Flew(Box::new(IslandFlight {
+        completed: outcome.completed,
+        end_reason: outcome.end_reason,
+        duration_s: outcome.duration_s,
+        total_energy_j: outcome.total_energy_j,
+        trace_digest: digest.digest(),
+        injected: injector.actions().to_vec(),
+        per_owner,
+        metrics,
+        fault_trace,
+    })))
+}
+
 /// Runs the full order → plan → fly → save/resume → refund lifecycle
 /// for `cfg.tenants` under `faults`. See the module docs for the
 /// wave structure and determinism contract.
@@ -253,6 +523,28 @@ pub fn execute_fleet(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
 ) -> Result<FleetOutcome, DroneError> {
+    execute_fleet_inner(cfg, faults, None)
+}
+
+/// Test hook: [`execute_fleet`] with a worker panic injected at one
+/// flight index, proving panic containment (the flight scraps, its
+/// tenants defer, the run completes). Not part of the public API.
+#[doc(hidden)]
+pub fn execute_fleet_with_worker_chaos(
+    cfg: &FleetConfig,
+    faults: &FleetFaultPlan,
+    panic_flight: Option<usize>,
+) -> Result<FleetOutcome, DroneError> {
+    execute_fleet_inner(cfg, faults, panic_flight)
+}
+
+fn execute_fleet_inner(
+    cfg: &FleetConfig,
+    faults: &FleetFaultPlan,
+    panic_flight: Option<usize>,
+) -> Result<FleetOutcome, DroneError> {
+    let pool = WorkerPool::new(cfg.threads);
+    let mut fleet_metrics = MetricsRegistry::new();
     let mut cloud = FallibleCloud::new();
     // Cloud-side observability: one attached handle for the whole
     // run, stamped to wave boundaries (1 simulated second per wave)
@@ -361,199 +653,253 @@ pub fn execute_fleet(
             }
         };
 
-        for plan in plans {
-            let mut owners: Vec<String> = plan.legs.iter().map(|l| l.owner.clone()).collect();
-            owners.sort();
-            owners.dedup();
-            // A plan is flyable only if every aboard drone can be
-            // produced this wave: a resume we hold the lease for, or
-            // a fresh tenant deployable from its order spec. Merged
-            // stale queue entries can violate this (e.g. the VDR was
-            // down for that tenant); such plans defer a wave.
-            let flyable = owners.iter().all(|o| {
-                saved_map.contains_key(o)
-                    || states
-                        .get(o)
-                        .is_some_and(|s| s.flights_flown == 0 && s.resolution.is_none())
-            });
-            if !flyable {
-                cloud
-                    .log
-                    .push(format!("wave {wave}: plan deferred, unavailable drone aboard"));
-                continue;
-            }
-
-            let seed = flight_seed(cfg.seed, wave, flight_counter);
-            let mut drone = Drone::boot(cfg.base, seed)?;
-            let mut prior: BTreeMap<String, (usize, u32)> = BTreeMap::new();
-            // Leases are committed only once every tenant is aboard:
-            // a deploy failure (e.g. the board out of container
-            // memory) scraps the whole flight, releases the leases,
-            // and defers its tenants to the next wave instead of
-            // killing the run.
-            let mut leased: Vec<String> = Vec::new();
-            let mut scrapped: Option<(String, DroneError)> = None;
-            for owner in &owners {
-                if let Some(saved) = saved_map.remove(owner) {
-                    let spec = saved.resume_spec().unwrap_or_else(|| saved.spec.clone());
-                    leased.push(owner.clone());
-                    match drone.deploy_from_archive(&saved.archive, spec, &[], &saved.app_state)
-                    {
-                        Ok(_) => {
-                            let wp = if saved.resumable() {
-                                saved.waypoints_completed
-                            } else {
-                                0
-                            };
-                            prior.insert(owner.clone(), (wp, saved.flights_flown));
-                        }
-                        Err(e) => {
-                            scrapped = Some((owner.clone(), e));
-                            break;
-                        }
-                    }
-                } else if let Some(st) = states.get(owner) {
-                    match drone.deploy_vdrone(owner, st.spec.clone(), &[]) {
-                        Ok(_) => {
-                            prior.insert(owner.clone(), (0, 0));
-                        }
-                        Err(e) => {
-                            scrapped = Some((owner.clone(), e));
-                            break;
-                        }
-                    }
-                } else {
-                    return Err(DroneError::UnknownVirtualDrone(owner.clone()));
+        // ── Fly phase: partition → islands → merge, batch by batch.
+        //
+        // A batch is a maximal prefix of the remaining plans whose
+        // flyable members share no owner (a duplicate owner means a
+        // later plan's flyable check depends on the earlier flight's
+        // outcome — the batch stops there and the plan waits for the
+        // merge). Flyable plans become islands on the pool; deferred
+        // plans carry through so their log lines land in plan order.
+        let mut plans: VecDeque<FlightPlan> = plans.into();
+        while !plans.is_empty() {
+            let mut batch: Vec<Disposition> = Vec::new();
+            let mut claimed: BTreeSet<String> = BTreeSet::new();
+            while let Some(peek) = plans.front() {
+                let mut owners: Vec<String> =
+                    peek.legs.iter().map(|l| l.owner.clone()).collect();
+                owners.sort();
+                owners.dedup();
+                if owners.iter().any(|o| claimed.contains(o)) {
+                    break;
                 }
-            }
-            if let Some((owner, e)) = scrapped {
-                for name in &leased {
-                    cloud.inner.vdr.abandon(name);
-                }
-                cloud.log.push(format!(
-                    "wave {wave}: flight scrapped, {owner} failed to deploy ({e}); tenants deferred"
-                ));
-                continue;
-            }
-            for name in &leased {
-                cloud.inner.vdr.commit(name);
-            }
-            drone.vdc.borrow_mut().set_watchdog(cfg.watchdog);
-
-            let flight_id = cloud.inner.new_flight_id();
-            let mut injector = FaultInjector::new(faults.effective_plan(flight_counter));
-            let mut digest = DigestProbe::new();
-            let outcome = {
-                let mut probes = ProbeStack::new();
-                probes.push(&mut injector);
-                probes.push(&mut digest);
-                execute_flight_probed(
-                    &mut drone,
-                    plan,
-                    cfg.max_sim_seconds,
-                    None,
-                    &mut probes,
-                )
-            };
-
-            // Post-flight bookkeeping per aboard drone.
-            for owner in &owners {
-                // A crash window that crossed the flight's end leaves
-                // its checkpoint pending; restore before saving.
-                if drone.pending_restarts.contains_key(owner) {
-                    drone.supervised_restart_vdrone(owner)?;
-                }
-                let (files, energy_used, time_used, completed_all, wp_flight, rem_e, rem_t) = {
-                    let vdc = drone.vdc.borrow();
-                    let rec = vdc.record(owner);
-                    (
-                        rec.map(|r| r.marked_files.clone()).unwrap_or_default(),
-                        rec.map(|r| r.spec.energy_allotted - r.energy_remaining_j())
-                            .unwrap_or(0.0),
-                        rec.map(|r| r.spec.max_duration - r.time_remaining_s())
-                            .unwrap_or(0.0),
-                        rec.map(|r| r.waypoints_completed() >= r.spec.waypoints.len())
-                            .unwrap_or(false),
-                        rec.map(|r| r.waypoints_completed()).unwrap_or(0),
-                        rec.map(|r| r.energy_remaining_j()).unwrap_or(0.0),
-                        rec.map(|r| r.time_remaining_s()).unwrap_or(0.0),
-                    )
-                };
-                let file_data: Vec<(String, bytes::Bytes)> = files
-                    .into_iter()
-                    .map(|path| {
-                        let data = drone
-                            .runtime
-                            .get(owner)
-                            .and_then(|c| c.fs.read(&path))
-                            .unwrap_or_else(|| bytes::Bytes::from_static(b""));
-                        (path, data)
-                    })
-                    .collect();
-                let revoked = outcome.log.iter().any(|e| {
-                    matches!(
-                        e,
-                        FlightLog::WaypointEnd {
-                            owner: o,
-                            reason: EndReason::WatchdogRevoked,
-                            ..
-                        } if o == owner
-                    )
-                });
-                let (wp_prior, flights_prior) = prior.get(owner).copied().unwrap_or((0, 0));
-                let Some(st) = states.get_mut(owner) else {
-                    return Err(DroneError::UnknownVirtualDrone(owner.clone()));
-                };
-                cloud.try_complete_flight(&st.user, flight_id, energy_used, file_data);
-                st.flights_flown = flights_prior + 1;
-                st.waypoints_completed = wp_prior + wp_flight;
-                st.billed_energy_j += energy_used;
-                st.billed_time_s += time_used;
-                st.remaining_energy_j = rem_e;
-                st.remaining_time_s = rem_t;
-
-                let (archive, app_state) = drone.save_vdrone(owner)?;
-                cloud.inner.vdr.store(SavedVirtualDrone {
-                    name: owner.clone(),
-                    owner: st.user.clone(),
-                    spec: st.spec.clone(),
-                    archive,
-                    app_state,
-                    reason: if completed_all {
-                        SaveReason::Completed
+                let Some(plan) = plans.pop_front() else { break };
+                // A plan is flyable only if every aboard drone can be
+                // produced this wave: a resume we hold the lease for,
+                // or a fresh tenant deployable from its order spec.
+                // Merged stale queue entries can violate this (e.g.
+                // the VDR was down for that tenant); such plans defer
+                // a wave. Sources are cloned, not taken: lease-map
+                // removal is a cloud effect and happens at merge.
+                let mut sources: Vec<OwnerSource> = Vec::new();
+                let mut flyable = true;
+                for o in &owners {
+                    if let Some(saved) = saved_map.get(o) {
+                        sources.push(OwnerSource::Resume(saved.clone()));
                     } else {
-                        SaveReason::Interrupted
-                    },
-                    remaining_energy_j: rem_e,
-                    remaining_time_s: rem_t,
-                    waypoints_completed: wp_prior + wp_flight,
-                    flights_flown: flights_prior + 1,
-                });
-                if completed_all {
-                    st.resolution = Some(TenantResolution::Completed);
-                } else if revoked {
-                    // Policy enforcement is terminal: the watchdog
-                    // revoked this drone, so it is not rescheduled;
-                    // its unserved remainder is refunded.
-                    st.refunded_energy_j += rem_e;
-                    st.resolution = Some(TenantResolution::Refunded);
-                    let user = st.user.clone();
-                    cloud.refund_unserved(&user, owner, rem_e);
+                        match states.get(o) {
+                            Some(s) if s.flights_flown == 0 && s.resolution.is_none() => {
+                                sources.push(OwnerSource::Fresh(s.spec.clone()));
+                            }
+                            _ => {
+                                flyable = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if flyable {
+                    claimed.extend(owners.iter().cloned());
+                    batch.push(Disposition::Fly {
+                        plan,
+                        owners,
+                        sources,
+                    });
+                } else {
+                    batch.push(Disposition::Deferred);
                 }
             }
 
-            flights.push(FlightRecord {
-                wave,
-                flight_index: flight_counter,
-                owners,
-                completed: outcome.completed,
-                end_reason: outcome.end_reason,
-                duration_s: outcome.duration_s,
-                total_energy_j: outcome.total_energy_j,
-                trace_digest: digest.digest(),
-                injected: injector.actions().to_vec(),
-            });
-            flight_counter += 1;
+            // Speculative index assignment: walk the batch giving
+            // each flyable plan the next index, assuming uncached
+            // islands fly. A scrap/panic consumes no index, shifting
+            // every later plan down — their islands re-run at the
+            // corrected index (seed and fault plan depend on it)
+            // until a walk finds every island cached: the fixpoint.
+            let mut cache: BTreeMap<(usize, usize), IslandOutcome> = BTreeMap::new();
+            loop {
+                let mut idx = flight_counter;
+                let mut keys: Vec<(usize, usize)> = Vec::new();
+                let mut items: Vec<PlanWork> = Vec::new();
+                for (slot, disp) in batch.iter().enumerate() {
+                    let Disposition::Fly {
+                        plan,
+                        owners,
+                        sources,
+                    } = disp
+                    else {
+                        continue;
+                    };
+                    match cache.get(&(slot, idx)) {
+                        Some(out) => {
+                            if consumes_index(out) {
+                                idx += 1;
+                            }
+                        }
+                        None => {
+                            items.push(PlanWork {
+                                plan: plan.clone(),
+                                owners: owners.clone(),
+                                sources: sources.clone(),
+                                seed: flight_seed(cfg.seed, wave, idx),
+                                fault_plan: faults.effective_plan(idx),
+                                base: cfg.base,
+                                max_sim_seconds: cfg.max_sim_seconds,
+                                watchdog: cfg.watchdog,
+                                flight_index: idx,
+                            });
+                            keys.push((slot, idx));
+                            idx += 1;
+                        }
+                    }
+                }
+                if keys.is_empty() {
+                    break;
+                }
+                let results = pool.run(items, |item| run_island(item, panic_flight));
+                for (key, res) in keys.into_iter().zip(results) {
+                    cache.insert(key, res);
+                }
+            }
+
+            // Merge in plan order: replay every cloud effect exactly
+            // as the sequential executor would have issued it.
+            for (slot, disp) in batch.into_iter().enumerate() {
+                let Disposition::Fly {
+                    owners, sources, ..
+                } = disp
+                else {
+                    cloud
+                        .log
+                        .push(format!("wave {wave}: plan deferred, unavailable drone aboard"));
+                    continue;
+                };
+                let out = cache.remove(&(slot, flight_counter)).unwrap_or_else(|| {
+                    // Unreachable: the fixpoint loop only exits once
+                    // every island at its settled index is cached.
+                    Err(WorkerError::Panicked(
+                        "island result missing after fixpoint".to_string(),
+                    ))
+                });
+                match out {
+                    Err(WorkerError::Panicked(msg)) => {
+                        // Contained worker panic: treat like a scrap
+                        // — release every lease, defer the tenants,
+                        // keep the run alive.
+                        for (owner, source) in owners.iter().zip(sources.iter()) {
+                            if matches!(source, OwnerSource::Resume(_)) {
+                                saved_map.remove(owner);
+                                cloud.inner.vdr.abandon(owner);
+                            }
+                        }
+                        cloud.log.push(format!(
+                            "wave {wave}: flight scrapped, worker panicked ({msg}); tenants deferred"
+                        ));
+                    }
+                    Ok(Err(e)) => {
+                        // Fatal drone error: the sequential executor
+                        // aborts the run here, and on `Err` the cloud
+                        // is dropped — only the error is observable,
+                        // so no earlier effects need replaying first.
+                        return Err(e);
+                    }
+                    Ok(Ok(IslandVerdict::Scrapped { owner: failed, error })) => {
+                        // Leases are committed only once every tenant
+                        // is aboard: a deploy failure (e.g. the board
+                        // out of container memory) scraps the whole
+                        // flight, releases the leases taken so far
+                        // (owners up to the failure; later owners
+                        // keep their checkout until the end-of-wave
+                        // sweep), and defers its tenants to the next
+                        // wave instead of killing the run.
+                        let failpos = owners
+                            .iter()
+                            .position(|o| *o == failed)
+                            .unwrap_or(owners.len());
+                        for (i, (owner, source)) in
+                            owners.iter().zip(sources.iter()).enumerate()
+                        {
+                            if i <= failpos && matches!(source, OwnerSource::Resume(_)) {
+                                saved_map.remove(owner);
+                                cloud.inner.vdr.abandon(owner);
+                            }
+                        }
+                        cloud.log.push(format!(
+                            "wave {wave}: flight scrapped, {failed} failed to deploy ({error}); tenants deferred"
+                        ));
+                    }
+                    Ok(Ok(IslandVerdict::Flew(island))) => {
+                        for (owner, source) in owners.iter().zip(sources.iter()) {
+                            if matches!(source, OwnerSource::Resume(_)) {
+                                saved_map.remove(owner);
+                                cloud.inner.vdr.commit(owner);
+                            }
+                        }
+                        let flight_id = cloud.inner.new_flight_id();
+                        for post in island.per_owner {
+                            let Some(st) = states.get_mut(&post.owner) else {
+                                return Err(DroneError::UnknownVirtualDrone(post.owner.clone()));
+                            };
+                            cloud.try_complete_flight(
+                                &st.user,
+                                flight_id,
+                                post.energy_used,
+                                post.file_data,
+                            );
+                            st.flights_flown = post.flights_prior + 1;
+                            st.waypoints_completed = post.wp_prior + post.wp_flight;
+                            st.billed_energy_j += post.energy_used;
+                            st.billed_time_s += post.time_used;
+                            st.remaining_energy_j = post.rem_e;
+                            st.remaining_time_s = post.rem_t;
+
+                            cloud.inner.vdr.store(SavedVirtualDrone {
+                                name: post.owner.clone(),
+                                owner: st.user.clone(),
+                                spec: st.spec.clone(),
+                                archive: post.archive,
+                                app_state: post.app_state,
+                                reason: if post.completed_all {
+                                    SaveReason::Completed
+                                } else {
+                                    SaveReason::Interrupted
+                                },
+                                remaining_energy_j: post.rem_e,
+                                remaining_time_s: post.rem_t,
+                                waypoints_completed: post.wp_prior + post.wp_flight,
+                                flights_flown: post.flights_prior + 1,
+                            });
+                            if post.completed_all {
+                                st.resolution = Some(TenantResolution::Completed);
+                            } else if post.revoked {
+                                // Policy enforcement is terminal: the
+                                // watchdog revoked this drone, so it
+                                // is not rescheduled; its unserved
+                                // remainder is refunded.
+                                st.refunded_energy_j += post.rem_e;
+                                st.resolution = Some(TenantResolution::Refunded);
+                                let user = st.user.clone();
+                                cloud.refund_unserved(&user, &post.owner, post.rem_e);
+                            }
+                        }
+
+                        flights.push(FlightRecord {
+                            wave,
+                            flight_index: flight_counter,
+                            owners,
+                            completed: island.completed,
+                            end_reason: island.end_reason,
+                            duration_s: island.duration_s,
+                            total_energy_j: island.total_energy_j,
+                            trace_digest: island.trace_digest,
+                            injected: island.injected,
+                        });
+                        fleet_metrics.merge_from(&island.metrics);
+                        let _ = cloud_obs.with(|o| o.trace.absorb(&island.fault_trace));
+                        flight_counter += 1;
+                    }
+                }
+            }
         }
         // Leased drones whose plans were deferred go back to storage.
         for name in saved_map.keys() {
@@ -605,11 +951,18 @@ pub fn execute_fleet(
         })
         .collect();
 
+    // The cloud façade's own registry merges last, after every
+    // flight's — one fixed position, independent of thread count.
+    if let Some(cloud_metrics) = cloud_obs.with(|o| o.metrics.clone()) {
+        fleet_metrics.merge_from(&cloud_metrics);
+    }
+
     Ok(FleetOutcome {
         flights,
         tenants,
         waves_run,
         cloud_log: cloud.log.clone(),
         cloud_backoff_ns: cloud.backoff_spent.as_nanos(),
+        metrics: fleet_metrics,
     })
 }

@@ -28,6 +28,7 @@ pub mod drone;
 pub mod fleet;
 pub mod flight_exec;
 pub mod injector;
+pub mod pool;
 pub mod probe;
 pub mod sanitizer;
 
@@ -41,6 +42,7 @@ pub use flight_exec::{
     execute_flight, execute_flight_probed, AbortCheck, EndReason, FlightLog, FlightOutcome,
 };
 pub use injector::FaultInjector;
+pub use pool::{WorkerError, WorkerPool};
 pub use probe::{DigestProbe, FlightProbe, FlightRecorder, FnProbe, NoProbe, ProbeStack};
 pub use sanitizer::{
     first_divergence, first_divergence_verbose, trace_flight, trace_flight_perturbed,

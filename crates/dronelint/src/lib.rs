@@ -16,6 +16,11 @@
 //!   MAVLink wire path (use `try_from` or `wire.rs` helpers).
 //! - **R5** `mutable-global`: no mutable or interior-mutable statics
 //!   in sim crates.
+//! - **R6** `alias-laundered-collection`: no *use* of a type alias
+//!   that renames a `HashMap`/`HashSet` in sim-state crates (the
+//!   defining line is R1's to flag).
+//! - **R7** `collections-glob-import`: no `use std::collections::*`
+//!   in sim-state crates.
 //!
 //! Violations can be suppressed inline with
 //! `// dronelint:allow(R3, reason why this one is sound)` — the
@@ -39,7 +44,7 @@ pub use rules::{RuleInfo, RULES, SIM_CRATES};
 /// One confirmed lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id ("R1".."R5").
+    /// Rule id ("R1".."R7").
     pub rule: &'static str,
     /// Repo-relative path (forward slashes).
     pub path: String,
@@ -90,6 +95,14 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     let lines = scan::preprocess(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut violations = Vec::new();
+    // First pass: collect type aliases laundering HashMap/HashSet
+    // anywhere in the file (test regions included — live code can
+    // name a test-defined alias), for R6's use-site check.
+    let hash_aliases: std::collections::BTreeSet<String> = lines
+        .iter()
+        .filter(|l| !l.code.trim().is_empty())
+        .filter_map(|l| rules::hash_alias_name(&scan::tokenize(&l.code)))
+        .collect();
     // Suppressions from comment-only lines apply to the next line
     // with code.
     let mut carried: Vec<Allow> = Vec::new();
@@ -124,7 +137,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
         if line.in_test {
             continue;
         }
-        for m in rules::check_line(path, &scan::tokenize(&line.code)) {
+        for m in rules::check_line_with_aliases(path, &scan::tokenize(&line.code), &hash_aliases) {
             let suppressed = allows.iter().any(|a| a.has_reason && a.rule == m.rule);
             if suppressed {
                 continue;

@@ -1,9 +1,14 @@
-//! The lint rules (R1–R5) and their path scoping.
+//! The lint rules (R1–R7) and their path scoping.
 //!
 //! Every rule is token-level and path-scoped. Rules apply to non-test
 //! code only: `#[cfg(test)]` / `#[test]` regions are exempt, because
 //! tests legitimately compare against `HashMap`s, call `unwrap()`,
-//! and panic on assertion failure.
+//! and panic on assertion failure. R6 is the one rule with file-level
+//! state: alias *definitions* are collected from the whole file
+//! (test regions included — a test-only alias can still be used in
+//! live code), then uses are flagged line by line.
+
+use std::collections::BTreeSet;
 
 use crate::scan::Token;
 
@@ -20,6 +25,7 @@ const R3_FILES: &[&str] = &[
     "crates/sdk/src/retry.rs",
     "crates/core/src/injector.rs",
     "crates/core/src/fleet.rs",
+    "crates/core/src/pool.rs",
     "crates/cloud/src/facade.rs",
     "crates/simkern/src/faults.rs",
     "crates/hal/src/faults.rs",
@@ -50,7 +56,7 @@ const INTERIOR_MUT: &[&str] = &[
 /// A rule's static description.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Stable rule id ("R1".."R5").
+    /// Stable rule id ("R1".."R7").
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -90,6 +96,20 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "mutable or interior-mutable statics are cross-run shared state the \
                     seed does not control",
     },
+    RuleInfo {
+        id: "R6",
+        name: "alias-laundered-collection",
+        rationale: "a type alias over HashMap/HashSet (`type Fast = HashMap<..>`) launders \
+                    the nondeterministic collection past R1's name check; the iteration \
+                    order is just as random under the new name",
+    },
+    RuleInfo {
+        id: "R7",
+        name: "collections-glob-import",
+        rationale: "`use std::collections::*` pulls HashMap/HashSet into scope invisibly, \
+                    so a later bare `HashMap` reads as a local name; import deterministic \
+                    collections explicitly",
+    },
 ];
 
 /// Returns the crate name for a repo-relative path like
@@ -119,7 +139,7 @@ fn r4_applies(path: &str) -> bool {
 /// A single rule match on one line (before suppression/baseline).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Match {
-    /// Rule id ("R1".."R5").
+    /// Rule id ("R1".."R7").
     pub rule: &'static str,
     /// 1-based column.
     pub col: usize,
@@ -127,10 +147,44 @@ pub struct Match {
     pub message: String,
 }
 
-/// Runs every applicable rule over one tokenized line.
+/// If this line defines a type alias whose right-hand side names a
+/// HashMap/HashSet (`type Fast = HashMap<u32, u32>;`,
+/// `pub type Seen<T> = std::collections::HashSet<T>;`), returns the
+/// alias name. Definitions are collected file-wide — including test
+/// regions, since a test-defined alias is still usable from live
+/// code in the same module tree.
+pub fn hash_alias_name(tokens: &[Token]) -> Option<String> {
+    let type_at = tokens.iter().position(|t| t.text == "type")?;
+    let name = tokens.get(type_at + 1)?;
+    if !name.text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        return None;
+    }
+    let eq_at = tokens[type_at..].iter().position(|t| t.text == "=")? + type_at;
+    let launders = tokens[eq_at..]
+        .iter()
+        .any(|t| t.text == "HashMap" || t.text == "HashSet");
+    launders.then(|| name.text.clone())
+}
+
+/// Runs every applicable rule over one tokenized line, with no
+/// file-level alias context (R6 needs [`check_line_with_aliases`]).
 pub fn check_line(path: &str, tokens: &[Token]) -> Vec<Match> {
+    check_line_with_aliases(path, tokens, &BTreeSet::new())
+}
+
+/// Runs every applicable rule over one tokenized line.
+/// `hash_aliases` is the set of alias names this file defines over
+/// HashMap/HashSet (from [`hash_alias_name`] over every line).
+pub fn check_line_with_aliases(
+    path: &str,
+    tokens: &[Token],
+    hash_aliases: &BTreeSet<String>,
+) -> Vec<Match> {
     let mut out = Vec::new();
     let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    // R6 skips the defining line itself: R1 already flags the
+    // HashMap/HashSet spelled out on the right-hand side.
+    let defines_alias = hash_alias_name(tokens);
 
     for (i, tok) in tokens.iter().enumerate() {
         let t = tok.text.as_str();
@@ -141,6 +195,37 @@ pub fn check_line(path: &str, tokens: &[Token]) -> Vec<Match> {
                 rule: "R1",
                 col: tok.col,
                 message: format!("{t} in a sim-state crate: iteration order is not deterministic; use BTreeMap/BTreeSet or a slab"),
+            });
+        }
+
+        // R6: use of a type alias that launders a HashMap/HashSet.
+        if in_sim_crate(path)
+            && hash_aliases.contains(t)
+            && defines_alias.as_deref() != Some(t)
+        {
+            out.push(Match {
+                rule: "R6",
+                col: tok.col,
+                message: format!(
+                    "`{t}` is a type alias over HashMap/HashSet; the iteration order is \
+                     still nondeterministic under the new name"
+                ),
+            });
+        }
+
+        // R7: glob import of std::collections in sim-state crates.
+        if in_sim_crate(path)
+            && t == "collections"
+            && text(i + 1) == Some(":")
+            && text(i + 2) == Some(":")
+            && text(i + 3) == Some("*")
+        {
+            out.push(Match {
+                rule: "R7",
+                col: tok.col,
+                message: "glob import of std::collections in a sim-state crate hides \
+                          HashMap/HashSet behind the wildcard; import BTree collections by name"
+                    .into(),
             });
         }
 
@@ -263,6 +348,67 @@ mod tests {
         assert_eq!(matches_on(wire, "let l = len as u8;"), vec!["R4"]);
         assert!(matches_on(wire, "use foo as bar;").is_empty());
         assert!(matches_on("crates/mavlink/src/wire.rs", "let l = len as u8;").is_empty());
+    }
+
+    #[test]
+    fn r6_alias_definitions_are_recognized() {
+        assert_eq!(
+            hash_alias_name(&tokenize("type Fast = HashMap<u32, u32>;")).as_deref(),
+            Some("Fast")
+        );
+        assert_eq!(
+            hash_alias_name(&tokenize(
+                "pub type Seen<T> = std::collections::HashSet<T>;"
+            ))
+            .as_deref(),
+            Some("Seen")
+        );
+        assert!(hash_alias_name(&tokenize("type Slab = BTreeMap<u32, u32>;")).is_none());
+        assert!(hash_alias_name(&tokenize("let x = HashMap::new();")).is_none());
+        // `=` before `type` must not satisfy the pattern.
+        assert!(hash_alias_name(&tokenize("let t = ty; type A = B;")).is_none());
+    }
+
+    #[test]
+    fn r6_flags_alias_use_but_not_the_definition() {
+        let aliases: BTreeSet<String> = ["Fast".to_string()].into_iter().collect();
+        let p = "crates/simkern/src/x.rs";
+        let on_use: Vec<&str> =
+            check_line_with_aliases(p, &tokenize("let m: Fast = Fast::new();"), &aliases)
+                .into_iter()
+                .map(|m| m.rule)
+                .collect();
+        assert_eq!(on_use, vec!["R6", "R6"], "both mentions flagged");
+        // The defining line is R1's to flag (HashMap is spelled out),
+        // not R6's.
+        let on_def: Vec<&str> =
+            check_line_with_aliases(p, &tokenize("type Fast = HashMap<u32, u32>;"), &aliases)
+                .into_iter()
+                .map(|m| m.rule)
+                .collect();
+        assert_eq!(on_def, vec!["R1"]);
+        // Outside sim crates the alias is fine.
+        assert!(check_line_with_aliases(
+            "crates/cloud/src/x.rs",
+            &tokenize("let m: Fast = Fast::new();"),
+            &aliases
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r7_collections_glob_only_in_sim_crates() {
+        assert_eq!(
+            matches_on("crates/simkern/src/x.rs", "use std::collections::*;"),
+            vec!["R7"]
+        );
+        assert!(matches_on("crates/cloud/src/x.rs", "use std::collections::*;").is_empty());
+        // Named imports of deterministic collections stay clean.
+        assert!(matches_on(
+            "crates/simkern/src/x.rs",
+            "use std::collections::{BTreeMap, BTreeSet};"
+        )
+        .is_empty());
     }
 
     #[test]

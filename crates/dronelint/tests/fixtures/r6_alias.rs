@@ -1,0 +1,31 @@
+// Fixture: seeded R6 violations. Scanned with the pretend path
+// crates/simkern/src/bad_alias.rs.
+use std::collections::HashMap;
+
+// The definition itself is R1's catch (HashMap is spelled out);
+// R6 takes over at every *use* of the laundered name.
+type FastIndex = HashMap<String, u32>;
+
+pub fn build() -> FastIndex {
+    let mut idx = FastIndex::new();
+    idx.insert("alpha".to_string(), 1);
+    idx
+}
+
+// An alias over a deterministic collection must NOT fire.
+type Ordered = std::collections::BTreeMap<String, u32>;
+
+pub fn ordered() -> Ordered {
+    Ordered::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test-region uses are exempt, like every other rule.
+    #[test]
+    fn test_uses_are_exempt() {
+        let _m: FastIndex = FastIndex::new();
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: seeded R7 violation. Scanned with the pretend path
+// crates/simkern/src/bad_glob.rs.
+use std::collections::*;
+
+// Named imports of deterministic collections must NOT fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn counts() -> BTreeMap<String, u32> {
+    BTreeMap::new()
+}
+
+pub fn seen() -> BTreeSet<u32> {
+    BTreeSet::new()
+}

@@ -57,6 +57,26 @@ fn r5_fixture_flags_mutable_globals() {
 }
 
 #[test]
+fn r6_fixture_flags_alias_uses_not_the_definition() {
+    let got = hits(
+        "crates/simkern/src/bad_alias.rs",
+        include_str!("fixtures/r6_alias.rs"),
+    );
+    // Lines 3 and 7 spell HashMap out (R1's catch); the laundered
+    // name's uses on lines 9-10 are R6's.
+    assert_eq!(got, vec![("R1", 3), ("R1", 7), ("R6", 9), ("R6", 10)]);
+}
+
+#[test]
+fn r7_fixture_flags_the_collections_glob() {
+    let got = hits(
+        "crates/simkern/src/bad_glob.rs",
+        include_str!("fixtures/r7_glob.rs"),
+    );
+    assert_eq!(got, vec![("R7", 3)]);
+}
+
+#[test]
 fn clean_fixture_produces_nothing() {
     let got = hits("crates/simkern/src/good.rs", include_str!("fixtures/clean.rs"));
     assert!(got.is_empty(), "{got:?}");
@@ -80,6 +100,8 @@ fn fixtures_out_of_scope_paths_do_not_fire() {
     assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r1_hashmap.rs")).is_empty());
     assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r4_casts.rs")).is_empty());
     assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r5_statics.rs")).is_empty());
+    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r6_alias.rs")).is_empty());
+    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r7_glob.rs")).is_empty());
 }
 
 #[test]

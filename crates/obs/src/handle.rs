@@ -109,9 +109,18 @@ impl ObsHandle {
     }
 
     /// Snapshots the last `window_ns` of trace into a black-box
-    /// record (see [`BlackBoxSnapshot`]). `None` when detached.
+    /// record (see [`BlackBoxSnapshot`]), folding in the last raw
+    /// `binder.latency_ns` samples as the snapshot's latency tail —
+    /// the histogram keeps bucket shape, the tail keeps the exact
+    /// final transaction latencies. `None` when detached.
     pub fn snapshot_window(&self, window_ns: u64, end_reason: &str) -> Option<BlackBoxSnapshot> {
-        self.with(|o| snapshot_window(&o.trace, window_ns, end_reason))
+        self.with(|o| {
+            let mut snap = snapshot_window(&o.trace, window_ns, end_reason);
+            if let Some(h) = o.metrics.histogram("binder.latency_ns") {
+                snap.latency_tail = h.recent().collect();
+            }
+            snap
+        })
     }
 }
 
@@ -137,6 +146,19 @@ mod tests {
         b.count("x", 3);
         assert_eq!(a.with(|o| o.metrics.counter("x")), Some(5));
         assert_eq!(a.metrics_digest(), b.metrics_digest());
+    }
+
+    #[test]
+    fn snapshot_carries_the_binder_latency_tail() {
+        let h = ObsHandle::attached();
+        h.observe("binder.latency_ns", &[100, 1_000], 40);
+        h.observe("binder.latency_ns", &[100, 1_000], 250);
+        h.observe("other.histogram", &[10], 7);
+        let snap = h.snapshot_window(1_000, "LinkLost").expect("attached");
+        assert_eq!(snap.latency_tail, vec![40, 250]);
+        // The tail rides along in the JSON contract.
+        let text = snap.to_json_pretty();
+        assert!(text.contains("\"latency_tail\""));
     }
 
     #[test]

@@ -32,6 +32,6 @@ mod recorder;
 mod trace;
 
 pub use handle::{Obs, ObsHandle};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_TAIL_CAP};
 pub use recorder::{metrics_to_json, snapshot_window, BlackBoxSnapshot, SnapshotRecord};
-pub use trace::{Subsystem, TraceBus, TraceConfig, TraceEvent, TraceRecord};
+pub use trace::{Subsystem, TraceBus, TraceConfig, TraceEvent, TraceRecord, TraceSegment};

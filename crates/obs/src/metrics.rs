@@ -8,14 +8,26 @@
 //! what lets the dual-run sanitizer demand bit-identical metrics
 //! from two runs of the same seed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use androne_simkern::StateHasher;
+
+/// How many raw samples a histogram retains as its recent tail.
+/// Sized for the black-box recorder: enough to reconstruct the last
+/// seconds of Binder latency before an abnormal flight end, small
+/// enough to never matter for memory.
+pub const HISTOGRAM_TAIL_CAP: usize = 32;
 
 /// A fixed-bucket histogram over `u64` samples (sim-nanoseconds,
 /// byte counts, ...). Bucket bounds are `&'static` and part of the
 /// metric's identity: the first `observe` pins them, and they never
 /// reallocate or rebalance, so two runs bucket identically.
+///
+/// Alongside the buckets, the last [`HISTOGRAM_TAIL_CAP`] raw samples
+/// are kept in a bounded ring — the black-box recorder folds this
+/// tail into its snapshot so an abnormal end carries the exact final
+/// latencies, not just their bucket shape. The tail is diagnostic
+/// payload only and deliberately excluded from [`MetricsRegistry::digest`].
 #[derive(Debug, Clone)]
 pub struct Histogram {
     bounds: &'static [u64],
@@ -25,6 +37,7 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    recent: VecDeque<u64>,
 }
 
 impl Histogram {
@@ -36,6 +49,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            recent: VecDeque::new(),
         }
     }
 
@@ -50,6 +64,41 @@ impl Histogram {
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if self.recent.len() == HISTOGRAM_TAIL_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(v);
+    }
+
+    /// Absorbs `other`'s samples into this histogram: bucket counts,
+    /// totals, and extrema fold additively; `other`'s recent tail is
+    /// appended after this one's (bounded by [`HISTOGRAM_TAIL_CAP`]).
+    /// Both histograms must share bucket bounds — mismatched bounds
+    /// mean two different metrics were given one name, and the merge
+    /// keeps `self` untouched rather than mixing incomparable shapes.
+    fn merge_from(&mut self, other: &Histogram) {
+        if self.bounds != other.bounds {
+            return;
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &v in &other.recent {
+            if self.recent.len() == HISTOGRAM_TAIL_CAP {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(v);
+        }
+    }
+
+    /// The last samples observed, oldest first (at most
+    /// [`HISTOGRAM_TAIL_CAP`]).
+    pub fn recent(&self) -> impl Iterator<Item = u64> + '_ {
+        self.recent.iter().copied()
     }
 
     /// Upper bounds of the finite buckets.
@@ -121,7 +170,12 @@ impl Histogram {
 
 /// The registry: three namespaces (counters, gauges, histograms),
 /// each an ordered map from static name to value.
-#[derive(Debug, Default)]
+///
+/// Registries are mergeable ([`MetricsRegistry::merge_from`]) so
+/// per-flight island registries can be folded into one fleet-level
+/// registry at the wave barrier, and `Clone` so a worker thread can
+/// hand its registry across the barrier by value.
+#[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
@@ -183,6 +237,30 @@ impl MetricsRegistry {
     /// All histograms, in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Absorbs `other` into this registry, deterministically:
+    /// counters add, gauges take `other`'s value (last writer in
+    /// merge order wins — callers merge in flight-index order, which
+    /// reproduces the sequential executor's overwrite order), and
+    /// histograms fold bucket-wise. Merging island registries in a
+    /// fixed order therefore yields the same registry at any worker
+    /// thread count.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (&name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge_from(hist),
+                None => {
+                    self.histograms.insert(name, hist.clone());
+                }
+            }
+        }
     }
 
     /// Folds every metric — names, values, histogram buckets — into
@@ -289,5 +367,83 @@ mod tests {
         let mut b = MetricsRegistry::new();
         b.observe("h", BOUNDS, 50);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn merge_reproduces_the_sequential_registry() {
+        // One registry fed sequentially...
+        let mut seq = MetricsRegistry::new();
+        seq.count("c", 2);
+        seq.gauge_set("g", 1.0);
+        seq.observe("h", BOUNDS, 5);
+        seq.count("c", 3);
+        seq.gauge_set("g", 2.0);
+        seq.observe("h", BOUNDS, 5_000);
+        // ...must digest identically to two island registries merged
+        // in the same order.
+        let mut a = MetricsRegistry::new();
+        a.count("c", 2);
+        a.gauge_set("g", 1.0);
+        a.observe("h", BOUNDS, 5);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 3);
+        b.gauge_set("g", 2.0);
+        b.observe("h", BOUNDS, 5_000);
+        let mut merged = MetricsRegistry::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.digest(), seq.digest());
+        assert_eq!(merged.counter("c"), 5);
+        assert_eq!(merged.gauge("g"), Some(2.0));
+        let h = merged.histogram("h").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 5_000);
+    }
+
+    #[test]
+    fn merge_with_mismatched_bounds_keeps_self() {
+        const OTHER_BOUNDS: &[u64] = &[7];
+        let mut a = MetricsRegistry::new();
+        a.observe("h", BOUNDS, 5);
+        let mut b = MetricsRegistry::new();
+        b.observe("h", OTHER_BOUNDS, 5);
+        let before = a.histogram("h").map(|h| h.count());
+        a.merge_from(&b);
+        assert_eq!(a.histogram("h").map(|h| h.count()), before);
+    }
+
+    #[test]
+    fn recent_tail_is_bounded_and_merge_appends() {
+        let mut m = MetricsRegistry::new();
+        for v in 0..(HISTOGRAM_TAIL_CAP as u64 + 5) {
+            m.observe("h", BOUNDS, v);
+        }
+        let h = m.histogram("h").expect("histogram");
+        let tail: Vec<u64> = h.recent().collect();
+        assert_eq!(tail.len(), HISTOGRAM_TAIL_CAP);
+        assert_eq!(tail[0], 5, "oldest samples evicted first");
+        assert_eq!(*tail.last().unwrap(), HISTOGRAM_TAIL_CAP as u64 + 4);
+
+        let mut other = MetricsRegistry::new();
+        other.observe("h", BOUNDS, 999);
+        m.merge_from(&other);
+        let tail: Vec<u64> = m.histogram("h").expect("histogram").recent().collect();
+        assert_eq!(*tail.last().unwrap(), 999, "merge appends the other tail");
+        assert_eq!(tail.len(), HISTOGRAM_TAIL_CAP);
+    }
+
+    #[test]
+    fn recent_tail_does_not_perturb_the_digest() {
+        // Same buckets, different tails (two 5s vs a 5 and a 6 both
+        // land in the <=10 bucket): the digest must not see the tail,
+        // which is diagnostic payload, not aggregate state.
+        let mut a = MetricsRegistry::new();
+        a.observe("h", BOUNDS, 5);
+        a.observe("h", BOUNDS, 5);
+        let mut b = MetricsRegistry::new();
+        b.observe("h", BOUNDS, 4);
+        b.observe("h", BOUNDS, 6);
+        assert_eq!(a.digest(), b.digest());
     }
 }

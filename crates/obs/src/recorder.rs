@@ -32,9 +32,17 @@ pub struct BlackBoxSnapshot {
     /// Per-subsystem ring evictions over the whole flight — nonzero
     /// means the window may be missing early records.
     pub dropped: Vec<(&'static str, u64)>,
+    /// The last raw `binder.latency_ns` samples before the end
+    /// (oldest first, at most [`crate::metrics::HISTOGRAM_TAIL_CAP`]):
+    /// the exact final transaction latencies, where the histogram
+    /// keeps only their bucket shape. Empty when the flight recorded
+    /// no Binder latency.
+    pub latency_tail: Vec<u64>,
 }
 
-/// Takes a snapshot of the last `window_ns` of `bus`.
+/// Takes a snapshot of the last `window_ns` of `bus`. The latency
+/// tail starts empty — [`crate::ObsHandle::snapshot_window`] fills it
+/// from the metrics registry, which a bare bus does not carry.
 pub fn snapshot_window(bus: &TraceBus, window_ns: u64, end_reason: &str) -> BlackBoxSnapshot {
     let ended_at_ns = bus.now_ns();
     let cutoff = ended_at_ns.saturating_sub(window_ns);
@@ -57,6 +65,7 @@ pub fn snapshot_window(bus: &TraceBus, window_ns: u64, end_reason: &str) -> Blac
         window_ns,
         records,
         dropped,
+        latency_tail: Vec::new(),
     }
 }
 
@@ -175,6 +184,10 @@ impl BlackBoxSnapshot {
             ("window_ns", num(self.window_ns)),
             ("records", Value::Array(records)),
             ("dropped", Value::Array(dropped)),
+            (
+                "latency_tail",
+                Value::Array(self.latency_tail.iter().map(|&v| num(v)).collect()),
+            ),
         ])
     }
 

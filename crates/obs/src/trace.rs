@@ -300,6 +300,62 @@ impl TraceBus {
         out.sort_by_key(|(_, r)| r.seq);
         out
     }
+
+    /// Extracts the records of the named subsystems as a detachable
+    /// [`TraceSegment`], in emission order. The bus is not modified:
+    /// a worker-thread island exports its segment at the wave barrier
+    /// and the island bus dies with the island.
+    pub fn segment(&self, subs: &[Subsystem]) -> TraceSegment {
+        let mut records = Vec::new();
+        for &sub in subs {
+            for record in self.records(sub) {
+                records.push((sub, record.clone()));
+            }
+        }
+        records.sort_by_key(|(_, r)| r.seq);
+        TraceSegment { records }
+    }
+
+    /// Absorbs a segment exported from another bus: each record is
+    /// re-emitted into the matching local ring with a fresh local
+    /// sequence number (the bus-global total order is preserved by
+    /// absorption order) while keeping the record's original sim
+    /// timestamp. Ring capacities and drop accounting apply as for
+    /// local emission, so absorption can never grow a ring past its
+    /// bound.
+    pub fn absorb(&mut self, segment: &TraceSegment) {
+        for (sub, record) in &segment.records {
+            let stamped = TraceRecord {
+                t_ns: record.t_ns,
+                seq: self.seq,
+                event: record.event.clone(),
+            };
+            self.seq += 1;
+            self.rings[sub.index()].push(stamped);
+        }
+    }
+}
+
+/// A detachable run of trace records exported from one bus and
+/// absorbable into another — the unit the fleet executor uses to
+/// carry island-local trace across the wave barrier. Plain data,
+/// `Send`, ordered by the source bus's emission order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSegment {
+    /// `(subsystem, record)` pairs in source-bus emission order.
+    pub records: Vec<(Subsystem, TraceRecord)>,
+}
+
+impl TraceSegment {
+    /// Number of records in the segment.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +439,52 @@ mod tests {
         b.emit(Subsystem::Cloud, phase("x"));
         assert!(b.is_empty());
         assert_eq!(b.dropped(Subsystem::Cloud), 1);
+    }
+
+    #[test]
+    fn segment_exports_named_rings_in_emission_order() {
+        let mut b = bus(8);
+        b.set_now_ns(100);
+        b.emit(Subsystem::Fault, phase("arm"));
+        b.emit(Subsystem::Flight, phase("launch"));
+        b.set_now_ns(200);
+        b.emit(Subsystem::Fault, phase("disarm"));
+        let seg = b.segment(&[Subsystem::Fault]);
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.records[0].1.t_ns, 100);
+        assert_eq!(seg.records[1].1.t_ns, 200);
+        assert!(seg.records.iter().all(|(s, _)| *s == Subsystem::Fault));
+        // The source bus is untouched.
+        assert_eq!(b.records(Subsystem::Fault).count(), 2);
+    }
+
+    #[test]
+    fn absorb_resequences_locally_and_keeps_timestamps() {
+        let mut island = bus(8);
+        island.set_now_ns(1_000);
+        island.emit(Subsystem::Fault, phase("arm"));
+        let seg = island.segment(&[Subsystem::Fault]);
+
+        let mut fleet = bus(8);
+        fleet.emit(Subsystem::Cloud, phase("wave"));
+        fleet.absorb(&seg);
+        let absorbed: Vec<_> = fleet.records(Subsystem::Fault).collect();
+        assert_eq!(absorbed.len(), 1);
+        assert_eq!(absorbed[0].t_ns, 1_000, "island sim time preserved");
+        assert_eq!(absorbed[0].seq, 1, "re-sequenced after local records");
+    }
+
+    #[test]
+    fn absorb_respects_ring_capacity() {
+        let mut island = bus(8);
+        for i in 0..4 {
+            island.set_now_ns(i * 10);
+            island.emit(Subsystem::Vdc, phase(&i.to_string()));
+        }
+        let seg = island.segment(&[Subsystem::Vdc]);
+        let mut fleet = bus(2);
+        fleet.absorb(&seg);
+        assert_eq!(fleet.records(Subsystem::Vdc).count(), 2);
+        assert_eq!(fleet.dropped(Subsystem::Vdc), 2);
     }
 }

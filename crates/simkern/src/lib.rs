@@ -50,9 +50,9 @@ pub use faults::{
 };
 pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
-pub use mem::{MemOwner, MemoryLedger, MIB};
+pub use mem::{BoardMemoryProfile, MemOwner, MemoryLedger, MIB};
 pub use net::{BurstLoss, LinkModel, LinkState};
-pub use statehash::{StateHash, StateHasher};
+pub use statehash::{substream_seed, StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};
 pub use task::{ContainerId, Euid, Pid, SchedPolicy, Task, TaskState, TaskTable};
 pub use time::{SimDuration, SimTime};

@@ -21,6 +21,61 @@ pub const RPI3_TOTAL_RAM: u64 = 1024 * MIB;
 /// peripheral reserved space and the GPU/camera allocation.
 pub const RPI3_USABLE_RAM: u64 = 880 * MIB;
 
+/// The board's memory budget as Figure 12 itemizes it: fixed
+/// residents (host OS + VDC, device container, flight container)
+/// against usable RAM, with the remainder divided among virtual-drone
+/// containers. The planner's party capacity derives from this profile
+/// instead of a hardcoded cap, so a board with different RAM or
+/// container footprints reflows the cap automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardMemoryProfile {
+    /// RAM usable by the OS, bytes.
+    pub usable_ram: u64,
+    /// Host OS plus the virtual drone controller, bytes.
+    pub host_os_vdc: u64,
+    /// The device container multiplexing hardware services, bytes.
+    pub device_container: u64,
+    /// The real-time flight container, bytes.
+    pub flight_container: u64,
+    /// One virtual-drone (Android Things) container's RSS, bytes.
+    pub vdrone_container: u64,
+}
+
+impl BoardMemoryProfile {
+    /// The prototype profile: 880 MiB usable, 95 MiB host OS + VDC,
+    /// 110 MiB device container, 40 MiB flight container, 185 MiB
+    /// per virtual drone (Figure 12).
+    pub const fn rpi3() -> Self {
+        BoardMemoryProfile {
+            usable_ram: RPI3_USABLE_RAM,
+            host_os_vdc: 95 * MIB,
+            device_container: 110 * MIB,
+            flight_container: 40 * MIB,
+            vdrone_container: 185 * MIB,
+        }
+    }
+
+    /// Bytes left for virtual-drone containers after the fixed
+    /// residents (saturating: an over-committed board leaves zero).
+    pub const fn vdrone_budget(&self) -> u64 {
+        self.usable_ram
+            .saturating_sub(self.host_os_vdc)
+            .saturating_sub(self.device_container)
+            .saturating_sub(self.flight_container)
+    }
+
+    /// How many virtual-drone containers fit in the budget — the
+    /// planner's per-flight party capacity. On the RPi3 profile this
+    /// is exactly 3: 635 MiB of budget seats three 185 MiB
+    /// containers, and a fourth would OOM at deploy.
+    pub const fn max_vdrones(&self) -> usize {
+        match self.vdrone_budget().checked_div(self.vdrone_container) {
+            Some(n) => n as usize,
+            None => 0,
+        }
+    }
+}
+
 /// An opaque owner of memory; allocations are tagged so that usage can
 /// be reported per subsystem/container (Figure 12).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -163,6 +218,29 @@ mod tests {
     fn rpi3_capacity_matches_paper() {
         let m = MemoryLedger::rpi3();
         assert_eq!(m.capacity(), 880 * MIB);
+    }
+
+    #[test]
+    fn rpi3_profile_reproduces_the_figure_12_cap() {
+        let p = BoardMemoryProfile::rpi3();
+        assert_eq!(p.vdrone_budget(), 635 * MIB);
+        // Three 185 MiB containers fit; the fourth does not.
+        assert_eq!(p.max_vdrones(), 3);
+        assert!(p.vdrone_budget() >= 3 * p.vdrone_container);
+        assert!(p.vdrone_budget() < 4 * p.vdrone_container);
+    }
+
+    #[test]
+    fn profile_cap_reflows_with_board_parameters() {
+        // A 2 GiB board seats more tenants; a starved board seats
+        // none; a zero-RSS container cannot divide by zero.
+        let mut p = BoardMemoryProfile::rpi3();
+        p.usable_ram = 2048 * MIB;
+        assert_eq!(p.max_vdrones(), 9);
+        p.usable_ram = 200 * MIB;
+        assert_eq!(p.max_vdrones(), 0);
+        p.vdrone_container = 0;
+        assert_eq!(p.max_vdrones(), 0);
     }
 
     #[test]

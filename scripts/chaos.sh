@@ -11,18 +11,30 @@
 # FleetFaultPlans over multi-wave, multi-flight, multi-tenant service
 # runs, holding dual-run fleet-digest identity, crash containment
 # against the no-fault baseline, energy/time conservation across
-# crash→resume, and terminal resolution for every tenant.
+# crash→resume, and terminal resolution for every tenant. Every gate
+# plan is additionally re-run at each worker-pool width in the
+# --threads matrix (default "1 4 8") and must reproduce the
+# sequential run's fleet digest and metrics digest bit for bit.
 #
 # Usage: scripts/chaos.sh [seeds]
-#        scripts/chaos.sh --fleet [seeds]
+#        scripts/chaos.sh --fleet [seeds] [--threads "1 4 8"]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--fleet" ]]; then
-    SEEDS="${2:-8}"
-    echo "== fleet chaos gate (${SEEDS} generated fleet plans, dual-run) =="
-    FLEET_CHAOS_SEEDS="${SEEDS}" cargo test -q --release -p androne --test fleet_chaos
+    shift
+    SEEDS=8
+    THREADS="1 4 8"
+    while [[ $# -gt 0 ]]; do
+        case "$1" in
+            --threads) THREADS="$2"; shift 2 ;;
+            *) SEEDS="$1"; shift ;;
+        esac
+    done
+    echo "== fleet chaos gate (${SEEDS} generated fleet plans, dual-run, threads matrix: ${THREADS}) =="
+    FLEET_CHAOS_SEEDS="${SEEDS}" FLEET_CHAOS_THREADS="${THREADS}" \
+        cargo test -q --release -p androne --test fleet_chaos
 else
     SEEDS="${1:-24}"
     echo "== chaos gate (${SEEDS} seeded fault plans, dual-run) =="

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fleet throughput gate: run the parallel-wave-executor bench and
+# regenerate BENCH_fleet_throughput.json.
+#
+# The bench first proves threads=1 and threads=4 produce bit-identical
+# fleet + metrics digests, then times both. The speedup floor is
+# core-scaled: >=2.0x on hosts with >=4 cores, >=1.2x on 2-3 cores,
+# and >=0.75x (an overhead bound, not a speedup) on a single core —
+# the report's `acceptance` object records the host's core count and
+# both floors so results stay comparable across machines. This script
+# fails if the active floor did not hold.
+#
+# Usage: scripts/fleet_bench.sh [scale]
+#   scale: ANDRONE_BENCH_SCALE value (default 5; higher = faster,
+#          noisier). Pass 1 for a full-fidelity run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-5}"
+OUT="${ANDRONE_BENCH_OUT:-$PWD/BENCH_fleet_throughput.json}"
+
+cargo build --release
+ANDRONE_BENCH_SCALE="$SCALE" ANDRONE_BENCH_OUT="$OUT" \
+    cargo bench --bench fleet_throughput
+
+if grep -q '"pass": true' "$OUT"; then
+    echo "fleet bench PASS ($OUT)"
+else
+    echo "fleet bench FAIL: core-scaled speedup floor not met (see $OUT)" >&2
+    exit 1
+fi

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Determinism/safety lint + dual-run sanitizer gate.
 #
-# 1. dronelint: token-level rules R1-R5 over the workspace, reconciled
+# 1. dronelint: token-level rules R1-R7 over the workspace, reconciled
 #    against dronelint.baseline.json (new violations or stale entries
 #    fail; the baseline only shrinks).
 # 2. The state-hash sanitizer: runs the full-system mission twice
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dronelint (rules R1-R5, ratcheted baseline) =="
+echo "== dronelint (rules R1-R7, ratcheted baseline) =="
 cargo run -q -p dronelint -- --format json
 
 echo "== dual-run determinism sanitizer =="

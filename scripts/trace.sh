@@ -19,7 +19,8 @@ OUT="$(cargo run -q --release --example blackbox_recorder)"
 
 for key in black_box end_reason LinkLost records link_failsafe \
            metrics counters gauges histograms digest metrics_digest \
-           mav.failsafe.rtl binder.latency_ns flight.duration_s; do
+           mav.failsafe.rtl binder.latency_ns flight.duration_s \
+           latency_tail; do
     if ! grep -qF "$key" <<<"$OUT"; then
         echo "FAIL: key '$key' missing from blackbox_recorder output" >&2
         exit 1

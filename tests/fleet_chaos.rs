@@ -114,6 +114,7 @@ fn gate_config(seed: u64, n_tenants: usize) -> FleetConfig {
         max_waves: 6,
         max_sim_seconds: MAX_SIM_S,
         watchdog: None,
+        threads: 1,
     }
 }
 
@@ -230,6 +231,28 @@ fn fleet_gate_holds_invariants_across_generated_plans() {
         );
         assert_eq!(a.flights.len(), b.flights.len(), "{label}: flight count drift");
         assert_run_invariants(&cfg, &a, &label);
+
+        // (a') thread-count independence: the parallel wave executor
+        // must merge to the exact sequential run — fleet digest AND
+        // the merged metrics registry digest — at every width in the
+        // matrix (`FLEET_CHAOS_THREADS`, default "1 4 8").
+        let widths = std::env::var("FLEET_CHAOS_THREADS").unwrap_or_else(|_| "1 4 8".into());
+        for width in widths.split_whitespace() {
+            let threads: usize = width.parse().expect("FLEET_CHAOS_THREADS entry");
+            let mut tcfg = cfg.clone();
+            tcfg.threads = threads;
+            let t = execute_fleet(&tcfg, &faults).expect("threaded fleet run");
+            assert_eq!(
+                a.fleet_digest(),
+                t.fleet_digest(),
+                "{label}: fleet digest diverged at threads={threads}"
+            );
+            assert_eq!(
+                a.metrics_digest(),
+                t.metrics_digest(),
+                "{label}: metrics digest diverged at threads={threads}"
+            );
+        }
 
         // Scale: every gate plan must exercise a real fleet.
         assert!(
@@ -370,6 +393,7 @@ fn link_partition_interrupts_then_vdr_heals_and_the_drone_resumes() {
         max_waves: 6,
         max_sim_seconds: MAX_SIM_S,
         watchdog: None,
+        threads: 1,
     };
     let faults = FleetFaultPlan {
         seed: 0,
