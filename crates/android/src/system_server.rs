@@ -74,6 +74,8 @@ pub enum BootError {
     Kernel(androne_simkern::KernelError),
     /// Binder setup failure.
     Binder(BinderError),
+    /// A device-container boot was requested without a hardware board.
+    MissingBoard,
 }
 
 impl std::fmt::Display for BootError {
@@ -81,6 +83,9 @@ impl std::fmt::Display for BootError {
         match self {
             BootError::Kernel(e) => write!(f, "boot failed: {e}"),
             BootError::Binder(e) => write!(f, "boot failed: {e}"),
+            BootError::MissingBoard => {
+                write!(f, "boot failed: device container requires a hardware board")
+            }
         }
     }
 }
@@ -147,7 +152,7 @@ pub fn boot_android_instance(
     let mut service_pids = Vec::new();
     let mut camera_service = None;
     if config.run_device_services {
-        let board = board.expect("device container boot requires a hardware board");
+        let board = board.ok_or(BootError::MissingBoard)?;
         fn start(
             kernel: &mut Kernel,
             driver: &mut BinderDriver,

@@ -57,7 +57,7 @@ fn main() {
 
     // Checkpoint path (while running).
     let checkpoint = {
-        let k = kernel.lock();
+        let k = kernel.borrow();
         rt.checkpoint("vd1", &k).unwrap()
     };
     // Lifecycle path: the archive ships only the diff; the base

@@ -41,7 +41,7 @@ fn main() {
         .expect("deploy probe");
     let container = drone.vdrones.get("probe").unwrap().container;
     let pid = {
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         k.tasks
             .spawn("probe-app", Euid(10_000), container, SchedPolicy::DEFAULT)
             .unwrap()

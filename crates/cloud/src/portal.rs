@@ -92,6 +92,12 @@ pub enum OrderError {
         /// The drone type.
         drone_type: String,
     },
+    /// An app's launch arguments could not be serialized into the
+    /// order manifest.
+    ArgsUnserializable {
+        /// The app whose arguments failed to serialize.
+        package: String,
+    },
 }
 
 impl std::fmt::Display for OrderError {
@@ -113,6 +119,9 @@ impl std::fmt::Display for OrderError {
             ),
             OrderError::DeviceNotOnDroneType { device, drone_type } => {
                 write!(f, "device '{device}' is not on drone type '{drone_type}'")
+            }
+            OrderError::ArgsUnserializable { package } => {
+                write!(f, "arguments for app '{package}' cannot be serialized")
             }
         }
     }
@@ -236,10 +245,12 @@ impl Portal {
                 }
             }
             apps.push(format!("{}.apk", selection.package));
-            app_args.insert(
-                selection.package.clone(),
-                serde_json::to_value(&selection.args).expect("args serialize"),
-            );
+            let args = serde_json::to_value(&selection.args).map_err(|_| {
+                OrderError::ArgsUnserializable {
+                    package: selection.package.clone(),
+                }
+            })?;
+            app_args.insert(selection.package.clone(), args);
         }
 
         // The selected drone type must physically carry every device

@@ -120,7 +120,7 @@ impl ContainerRuntime {
         // The start spawned a fresh init; respawn the frozen tasks
         // beside it (init is in the snapshot too, so skip one).
         let kernel = self.kernel().clone();
-        let mut k = kernel.lock();
+        let mut k = kernel.borrow_mut();
         let mut skipped_init = false;
         for task in &checkpoint.tasks {
             if !skipped_init && task.name.ends_with("/init") {
@@ -168,7 +168,7 @@ mod tests {
             .write("/data/app-state.bin", "opaque-in-memory-state");
 
         let checkpoint = {
-            let k = kernel.lock();
+            let k = kernel.borrow();
             rt.checkpoint("vd1", &k).unwrap()
         };
         assert_eq!(checkpoint.tasks.len(), 2, "init + app frozen");
@@ -192,7 +192,7 @@ mod tests {
         );
         // The uncooperative app is running again without having saved
         // anything itself.
-        let k = kernel2.lock();
+        let k = kernel2.borrow();
         assert!(k
             .tasks
             .in_container(id)
@@ -204,7 +204,7 @@ mod tests {
         let (mut rt, kernel) = runtime_with_vd();
         rt.get_mut("vd1").unwrap().fs.write("/data/x", "tiny-diff");
         let checkpoint = {
-            let k = kernel.lock();
+            let k = kernel.borrow();
             rt.checkpoint("vd1", &k).unwrap()
         };
         let archive = rt.export("vd1").unwrap();
@@ -220,7 +220,7 @@ mod tests {
     fn stopped_containers_cannot_be_checkpointed() {
         let (mut rt, kernel) = runtime_with_vd();
         rt.stop("vd1").unwrap();
-        let k = kernel.lock();
+        let k = kernel.borrow();
         assert!(matches!(
             rt.checkpoint("vd1", &k),
             Err(ContainerError::InvalidState { .. })
@@ -231,7 +231,7 @@ mod tests {
     fn restore_refuses_name_collisions() {
         let (mut rt, kernel) = runtime_with_vd();
         let checkpoint = {
-            let k = kernel.lock();
+            let k = kernel.borrow();
             rt.checkpoint("vd1", &k).unwrap()
         };
         drop(kernel);

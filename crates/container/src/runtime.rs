@@ -60,7 +60,7 @@ impl ContainerRuntime {
     /// Creates a runtime on the given kernel, charging the host OS +
     /// VDC base memory.
     pub fn new(kernel: SharedKernel) -> Result<Self, ContainerError> {
-        kernel.lock().mem.allocate("host/base", HOST_BASE_MEMORY)?;
+        kernel.borrow_mut().mem.allocate("host/base", HOST_BASE_MEMORY)?;
         Ok(ContainerRuntime {
             kernel,
             images: ImageStore::new(),
@@ -179,7 +179,7 @@ impl ContainerRuntime {
         }
         let owner = container.mem_owner();
         {
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             // Atomic: allocation either fully succeeds or fails
             // without touching other containers.
             k.mem.allocate(owner, bytes)?;
@@ -204,7 +204,7 @@ impl ContainerRuntime {
             });
         }
         {
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             k.tasks.kill_container(container.id);
             k.tasks.reap();
             k.mem.release_owner(&container.mem_owner().into());
@@ -246,7 +246,7 @@ impl ContainerRuntime {
             });
         }
         let pid = kernel
-            .lock()
+            .borrow_mut()
             .tasks
             .spawn(task_name, euid, container.id, policy)
             .map_err(ContainerError::Kernel)?;
@@ -313,7 +313,7 @@ impl ContainerRuntime {
 
     /// Total board memory currently used (host base + containers).
     pub fn total_memory_used(&self) -> u64 {
-        self.kernel.lock().mem.used()
+        self.kernel.borrow().mem.used()
     }
 }
 
@@ -428,9 +428,9 @@ mod tests {
         rt.spawn_task("vd1", "app", Euid(10_001), SchedPolicy::DEFAULT)
             .unwrap();
         let id = rt.get("vd1").unwrap().id;
-        assert_eq!(rt.kernel().lock().tasks.in_container(id).count(), 2);
+        assert_eq!(rt.kernel().borrow().tasks.in_container(id).count(), 2);
         rt.stop("vd1").unwrap();
-        assert_eq!(rt.kernel().lock().tasks.in_container(id).count(), 0);
+        assert_eq!(rt.kernel().borrow().tasks.in_container(id).count(), 0);
     }
 
     #[test]

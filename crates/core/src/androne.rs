@@ -138,10 +138,9 @@ impl Androne {
 
         // Post-flight bookkeeping per virtual drone.
         for owner in &owners {
-            let order = orders
-                .iter()
-                .find(|o| &o.vd_name == owner)
-                .expect("checked above");
+            let Some(order) = orders.iter().find(|o| &o.vd_name == owner) else {
+                continue;
+            };
             // Collect marked files from the container before export.
             let (marked, energy_used, completed_all, wp_this_flight, remaining_e, remaining_t) = {
                 let vdc = drone.vdc.borrow();

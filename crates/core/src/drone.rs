@@ -42,6 +42,11 @@ pub enum DroneError {
     UnknownVirtualDrone(String),
     /// The spec failed validation.
     Spec(androne_vdc::SpecError),
+    /// An assembly-sequence invariant did not hold (e.g. a container
+    /// the previous boot step just created is missing). Indicates a
+    /// bug in the boot sequence itself, but surfaces as an error so a
+    /// misbehaving board scraps one flight instead of the fleet.
+    BootInvariant(&'static str),
 }
 
 impl std::fmt::Display for DroneError {
@@ -51,6 +56,9 @@ impl std::fmt::Display for DroneError {
             DroneError::Boot(e) => write!(f, "android boot error: {e}"),
             DroneError::UnknownVirtualDrone(n) => write!(f, "unknown virtual drone '{n}'"),
             DroneError::Spec(e) => write!(f, "bad virtual drone spec: {e}"),
+            DroneError::BootInvariant(what) => {
+                write!(f, "boot sequence invariant violated: {what}")
+            }
         }
     }
 }
@@ -160,7 +168,7 @@ impl Drone {
         // Hardware: the device container claims every device.
         let mut hw = HardwareBoard::new(home, seed.wrapping_add(1));
         hw.claim_all("device-container")
-            .expect("fresh board has no claims");
+            .map_err(|_| DroneError::BootInvariant("fresh board has no claims"))?;
         let board = share(hw);
 
         // Device container.
@@ -171,7 +179,9 @@ impl Drone {
             ResourceLimits::UNLIMITED,
         )?;
         runtime.start("device")?;
-        let device_ctr = runtime.get("device").expect("just created");
+        let device_ctr = runtime
+            .get("device")
+            .ok_or(DroneError::BootInvariant("device container just created"))?;
         let device_id = device_ctr.id;
         let device_ns = device_ctr.namespaces.device_ns;
 
@@ -185,7 +195,7 @@ impl Drone {
         let mut driver = BinderDriver::new();
         driver.set_obs(obs.clone());
         let device_instance = {
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             boot_android_instance(
                 &mut k,
                 &mut driver,
@@ -200,10 +210,10 @@ impl Drone {
         // The VDC's own Binder identity (a host daemon opened in the
         // device container's namespace for enforcement queries).
         let vdc_pid = {
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             k.tasks
                 .spawn("vdc", Euid(0), ContainerId::HOST, SchedPolicy::DEFAULT)
-                .expect("spawn vdc")
+                .map_err(|_| DroneError::BootInvariant("spawn vdc daemon task"))?
         };
         driver.open(vdc_pid, Euid(0), ContainerId::HOST, device_ns);
         vdc.borrow_mut().set_binder_identity(vdc_pid);
@@ -216,16 +226,19 @@ impl Drone {
             ResourceLimits::UNLIMITED,
         )?;
         runtime.start("flight")?;
-        let flight_id = runtime.get("flight").expect("just created").id;
+        let flight_id = runtime
+            .get("flight")
+            .ok_or(DroneError::BootInvariant("flight container just created"))?
+            .id;
         access.borrow_mut().set_flight_container(flight_id);
         {
             // The flight controller's fast loop runs at top FIFO
             // priority with locked memory.
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             let pid = k
                 .tasks
                 .spawn("arducopter", Euid(0), flight_id, SchedPolicy::MAX_RT)
-                .expect("spawn ardupilot");
+                .map_err(|_| DroneError::BootInvariant("spawn ardupilot task"))?;
             if let Some(t) = k.tasks.get_mut(pid) {
                 t.mlocked = true;
             }
@@ -243,10 +256,10 @@ impl Drone {
         // has no ServiceManager of its own) tagged with the flight
         // container id so policy checks see the right caller.
         let bridge_pid = {
-            let mut k = kernel.lock();
+            let mut k = kernel.borrow_mut();
             k.tasks
                 .spawn("hal-bridge", Euid(0), flight_id, SchedPolicy::DEFAULT)
-                .expect("spawn hal bridge")
+                .map_err(|_| DroneError::BootInvariant("spawn hal bridge task"))?
         };
         driver.open(bridge_pid, Euid(0), flight_id, device_ns);
         let hal_bridge = NativeHalBridge::new(bridge_pid);
@@ -293,11 +306,15 @@ impl Drone {
             ResourceLimits::UNLIMITED,
         )?;
         self.runtime.start(name)?;
-        let container = self.runtime.get(name).expect("just created").id;
-        let device_ns = self.runtime.get(name).expect("just created").namespaces.device_ns;
+        let ctr = self
+            .runtime
+            .get(name)
+            .ok_or(DroneError::BootInvariant("vdrone container just created"))?;
+        let container = ctr.id;
+        let device_ns = ctr.namespaces.device_ns;
 
         let instance = {
-            let mut k = self.kernel.lock();
+            let mut k = self.kernel.borrow_mut();
             boot_android_instance(
                 &mut k,
                 &mut self.driver,
@@ -322,7 +339,7 @@ impl Drone {
             // travels to the VDR).
             self.runtime
                 .get_mut(name)
-                .expect("container exists")
+                .ok_or(DroneError::BootInvariant("vdrone container exists"))?
                 .fs
                 .write(format!("/data/app/{}.apk", manifest.package), "apk-bytes");
         }
@@ -368,10 +385,14 @@ impl Drone {
         self.runtime.start(&name)?;
         // Boot proceeds exactly like a fresh deployment (containers
         // are stateless; state lives in the filesystem + bundles).
-        let container = self.runtime.get(&name).expect("created").id;
-        let device_ns = self.runtime.get(&name).expect("created").namespaces.device_ns;
+        let ctr = self
+            .runtime
+            .get(&name)
+            .ok_or(DroneError::BootInvariant("restored container just created"))?;
+        let container = ctr.id;
+        let device_ns = ctr.namespaces.device_ns;
         let instance = {
-            let mut k = self.kernel.lock();
+            let mut k = self.kernel.borrow_mut();
             boot_android_instance(
                 &mut k,
                 &mut self.driver,
@@ -435,7 +456,7 @@ impl Drone {
         // is self-contained.
         self.runtime
             .get_mut(name)
-            .expect("container exists")
+            .ok_or(DroneError::BootInvariant("saved vdrone container exists"))?
             .fs
             .write("/data/system/androne_saved_state", app_state.clone());
         self.runtime.stop(name)?;
@@ -459,7 +480,7 @@ impl Drone {
     /// The VDC enforces revocation for `name` (terminate lingering
     /// device users). Returns terminated pids.
     pub fn enforce_revocation(&mut self, name: &str) -> Vec<androne_simkern::Pid> {
-        let mut kernel = self.kernel.lock();
+        let mut kernel = self.kernel.borrow_mut();
         self.vdc
             .borrow_mut()
             .enforce_revocation(&mut self.driver, &mut kernel, name)
@@ -497,11 +518,11 @@ impl Drone {
             .map(|vd| vd.container)
             .ok_or_else(|| DroneError::UnknownVirtualDrone(name.to_string()))?;
         let checkpoint = {
-            let k = self.kernel.lock();
+            let k = self.kernel.borrow();
             self.runtime.checkpoint(name, &k)?
         };
         let pids: Vec<androne_simkern::Pid> = {
-            let k = self.kernel.lock();
+            let k = self.kernel.borrow();
             k.tasks.in_container(container).map(|t| t.pid).collect()
         };
         self.runtime.stop(name)?;
@@ -543,11 +564,11 @@ impl Drone {
     pub fn inject_kernel_panic(&mut self) {
         self.host_crashed = true;
         let pids: Vec<androne_simkern::Pid> = {
-            let k = self.kernel.lock();
+            let k = self.kernel.borrow();
             k.tasks.live().map(|t| t.pid).collect()
         };
         {
-            let mut k = self.kernel.lock();
+            let mut k = self.kernel.borrow_mut();
             for pid in &pids {
                 let _ = k.tasks.kill(*pid);
             }
@@ -591,7 +612,7 @@ impl Drone {
     pub fn component_hashes(&self) -> Vec<(&'static str, u64)> {
         use androne_simkern::StateHash;
         vec![
-            ("kernel", self.kernel.lock().hash_value()),
+            ("kernel", self.kernel.borrow().hash_value()),
             ("binder", self.driver.hash_value()),
             ("sitl", self.sitl.hash_value()),
             ("proxy", self.proxy.hash_value()),
@@ -608,7 +629,7 @@ impl Drone {
         use androne_simkern::StateHash;
         let mut out = Vec::new();
         {
-            let k = self.kernel.lock();
+            let k = self.kernel.borrow();
             for t in k.tasks.live() {
                 out.push((format!("kernel/task/{}", t.pid.0), t.hash_value()));
             }

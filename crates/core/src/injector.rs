@@ -116,7 +116,7 @@ impl FaultInjector {
             }
             FaultKind::LinkBurstLoss { burst } => {
                 if armed {
-                    let seed: u64 = drone.kernel.lock().rng().gen();
+                    let seed: u64 = drone.kernel.borrow_mut().rng().gen();
                     let mut model = LinkModel::cellular_lte();
                     model.burst = Some(burst);
                     drone.proxy.set_uplink_loss(model, seed);

@@ -121,9 +121,15 @@ fn split_lexical(source: &str) -> Vec<CodeLine> {
                 i += 1;
             }
             Mode::Str => {
-                if c == '\\' {
+                if c == '\\' && chars.get(i + 1).is_some_and(|&n| n != '\n') {
                     code.push_str("  ");
                     i += 2;
+                } else if c == '\\' {
+                    // `\` before a newline is a string line
+                    // continuation: blank the backslash but leave the
+                    // newline for the per-line accounting.
+                    code.push(' ');
+                    i += 1;
                 } else if c == '"' {
                     code.push('"');
                     mode = Mode::Code;
@@ -148,7 +154,10 @@ fn split_lexical(source: &str) -> Vec<CodeLine> {
             }
         }
     }
-    if !code.is_empty() || !comment.is_empty() {
+    // A source not ending in '\n' still has a final line — even when
+    // its code AND comment views are empty (e.g. a trailing `//`),
+    // so that output line count always equals `source.lines()`'s.
+    if !source.is_empty() && !source.ends_with('\n') {
         lines.push(CodeLine {
             code,
             comment,
@@ -192,7 +201,9 @@ fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
 }
 
 /// If `chars[i]` is the opening tick of a char literal, returns the
-/// index of its closing tick. Lifetimes return `None`.
+/// index of its closing tick. Lifetimes return `None`. A literal is
+/// never allowed to span a newline — per-line accounting depends on
+/// every `\n` surviving the blanking pass.
 fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
@@ -202,15 +213,15 @@ fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
                 if c == '\'' {
                     return Some(j);
                 }
-                if c == '\n' {
+                if c == '\n' || (c == '\\' && chars.get(j + 1) == Some(&'\n')) {
                     return None;
                 }
                 j += if c == '\\' { 2 } else { 1 };
             }
             None
         }
+        Some('\n') | None => None,
         Some(_) => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
-        None => None,
     }
 }
 

@@ -1,0 +1,14 @@
+//! R10 fixture: ad-hoc RNG construction in a sim crate — every
+//! stream must come through the `simkern::rng` funnels.
+
+pub fn make(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn from_parts(seed: [u8; 32]) -> SmallRng {
+    SmallRng::from_seed(seed)
+}
+
+pub fn derived(parent: &mut SmallRng) -> SmallRng {
+    SmallRng::from_rng(parent)
+}

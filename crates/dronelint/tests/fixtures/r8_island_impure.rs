@@ -1,0 +1,15 @@
+//! R8 fixture: the island work type smuggles an `Rc` across the
+//! worker-pool thread boundary through a nested field.
+
+pub struct Inner {
+    pub cache: Rc<u32>,
+}
+
+pub struct Work {
+    pub id: u64,
+    pub inner: Inner,
+}
+
+pub fn run_island(work: Work) -> u64 {
+    work.id
+}

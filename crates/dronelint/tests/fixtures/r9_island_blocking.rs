@@ -1,0 +1,18 @@
+//! R9 fixture: island-reachable code must not take locks, sleep, or
+//! touch blocking I/O — one island owns one worker thread outright.
+
+pub fn run_island(work: u64) -> u64 {
+    let _guard = SHARED.lock();
+    helper(work)
+}
+
+fn helper(work: u64) -> u64 {
+    std::thread::sleep(Duration::from_millis(1));
+    let _f = File::open("telemetry.log");
+    let _s = TcpStream::connect(addr);
+    work
+}
+
+fn off_island() {
+    let _guard = OTHER.lock();
+}

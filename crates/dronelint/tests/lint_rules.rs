@@ -96,12 +96,14 @@ fn suppression_covers_exactly_one_line() {
 #[test]
 fn fixtures_out_of_scope_paths_do_not_fire() {
     // The same seeded text under an unscoped path is silent: R1/R5
-    // only bind to sim crates, R4 only to the wire files.
-    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r1_hashmap.rs")).is_empty());
-    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r4_casts.rs")).is_empty());
-    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r5_statics.rs")).is_empty());
-    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r6_alias.rs")).is_empty());
-    assert!(hits("crates/cloud/src/x.rs", include_str!("fixtures/r7_glob.rs")).is_empty());
+    // only bind to sim crates (which, since lint v2, include cloud —
+    // so the neutral path lives in the sdk crate), R4 only to the
+    // wire files.
+    assert!(hits("crates/sdk/src/x.rs", include_str!("fixtures/r1_hashmap.rs")).is_empty());
+    assert!(hits("crates/sdk/src/x.rs", include_str!("fixtures/r4_casts.rs")).is_empty());
+    assert!(hits("crates/sdk/src/x.rs", include_str!("fixtures/r5_statics.rs")).is_empty());
+    assert!(hits("crates/sdk/src/x.rs", include_str!("fixtures/r6_alias.rs")).is_empty());
+    assert!(hits("crates/sdk/src/x.rs", include_str!("fixtures/r7_glob.rs")).is_empty());
 }
 
 #[test]

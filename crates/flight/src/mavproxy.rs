@@ -25,7 +25,6 @@ use androne_mavlink::{deg_to_e7, FlightMode, MavCmd, Message};
 use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_simkern::{LinkModel, LinkState, StateHash, StateHasher};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::sitl::Sitl;
 use crate::vfc::{Vfc, VfcDecision, VfcState};
@@ -424,7 +423,7 @@ impl MavProxy {
         self.uplink = Some(UplinkLoss {
             model,
             state: LinkState::default(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: androne_simkern::stream_rng(seed),
         });
     }
 

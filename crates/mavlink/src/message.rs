@@ -8,6 +8,7 @@
 //! and semantics are faithful).
 
 use crate::error::MavError;
+use crate::wire;
 
 /// ArduPilot Copter flight modes (the `custom_mode` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -354,7 +355,7 @@ impl Message {
             } => {
                 out.extend(voltage_mv.to_le_bytes());
                 out.extend(current_ca.to_le_bytes());
-                out.push(*battery_remaining as u8);
+                out.push(wire::i8_bits(*battery_remaining));
             }
             Message::SetMode { mode } => out.extend(mode.custom_mode().to_le_bytes()),
             Message::Attitude {
@@ -419,7 +420,7 @@ impl Message {
                 out.push(*severity);
                 let bytes = text.as_bytes();
                 let n = bytes.len().min(50);
-                out.push(n as u8);
+                out.push(wire::len8(n));
                 out.extend(&bytes[..n]);
             }
         }
@@ -438,7 +439,7 @@ impl Message {
             1 => Message::SysStatus {
                 voltage_mv: r.u16()?,
                 current_ca: r.i16()?,
-                battery_remaining: r.u8()? as i8,
+                battery_remaining: wire::u8_bits(r.u8()?),
             },
             11 => Message::SetMode {
                 mode: FlightMode::from_custom_mode(r.u32()?)?,
@@ -487,7 +488,7 @@ impl Message {
             },
             253 => {
                 let severity = r.u8()?;
-                let n = r.u8()? as usize;
+                let n = usize::from(r.u8()?);
                 let bytes = r.take(n)?;
                 Message::StatusText {
                     severity,
@@ -520,31 +521,39 @@ impl<'a> Reader<'a> {
     fn u8(&mut self) -> Result<u8, MavError> {
         Ok(self.take(1)?[0])
     }
+    fn take2(&mut self) -> Result<[u8; 2], MavError> {
+        let s = self.take(2)?;
+        Ok([s[0], s[1]])
+    }
+    fn take4(&mut self) -> Result<[u8; 4], MavError> {
+        let s = self.take(4)?;
+        Ok([s[0], s[1], s[2], s[3]])
+    }
     fn u16(&mut self) -> Result<u16, MavError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take2()?))
     }
     fn i16(&mut self) -> Result<i16, MavError> {
-        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(i16::from_le_bytes(self.take2()?))
     }
     fn u32(&mut self) -> Result<u32, MavError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take4()?))
     }
     fn i32(&mut self) -> Result<i32, MavError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.take4()?))
     }
     fn f32(&mut self) -> Result<f32, MavError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take4()?))
     }
 }
 
 /// Converts degrees to MAVLink's degE7 fixed point.
 pub fn deg_to_e7(deg: f64) -> i32 {
-    (deg * 1e7).round() as i32
+    wire::e7_from_deg(deg)
 }
 
 /// Converts degE7 fixed point back to degrees.
 pub fn e7_to_deg(e7: i32) -> f64 {
-    e7 as f64 / 1e7
+    f64::from(e7) / 1e7
 }
 
 #[cfg(test)]

@@ -27,6 +27,28 @@ pub fn len8(len: usize) -> u8 {
     (len & 0xFF) as u8
 }
 
+/// Bit-reinterprets an `i8` as its wire byte (two's complement).
+///
+/// SYS_STATUS carries `battery_remaining` as a signed percentage
+/// (-1 = unknown) in one payload byte.
+pub const fn i8_bits(v: i8) -> u8 {
+    v.to_le_bytes()[0]
+}
+
+/// Inverse of [`i8_bits`]: the wire byte back to the signed value.
+pub const fn u8_bits(v: u8) -> i8 {
+    i8::from_le_bytes(v.to_le_bytes())
+}
+
+/// Degrees to MAVLink's degE7 fixed point.
+///
+/// Float→int `as` saturates (and maps NaN to 0) since Rust 1.45 —
+/// exactly the clamping the fixed-point format wants for a
+/// coordinate that escaped the valid ±90/±180 range upstream.
+pub fn e7_from_deg(deg: f64) -> i32 {
+    (deg * 1e7).round() as i32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,17 +174,21 @@ impl RouteConstraints {
             let mut anchor: Option<(usize, usize)> = None;
             for (r, route) in sol.routes.iter().enumerate() {
                 if let Some(p) = route.stops.iter().position(|s| group.contains(s)) {
-                    if anchor.is_none() {
-                        anchor = Some((r, p));
-                    }
-                    // Prefer the route holding the most members.
+                    // Prefer the route holding the most members; the
+                    // earliest route wins ties.
                     let count = route.stops.iter().filter(|s| group.contains(s)).count();
-                    let best_count = sol.routes[anchor.unwrap().0]
-                        .stops
-                        .iter()
-                        .filter(|s| group.contains(s))
-                        .count();
-                    if count > best_count {
+                    let better = match anchor {
+                        None => true,
+                        Some((best_r, _)) => {
+                            count
+                                > sol.routes[best_r]
+                                    .stops
+                                    .iter()
+                                    .filter(|s| group.contains(s))
+                                    .count()
+                        }
+                    };
+                    if better {
                         anchor = Some((r, p));
                     }
                 }
@@ -236,7 +240,12 @@ impl RouteConstraints {
                 // part of, insert past the end of that group so the
                 // move cannot break contiguity.
                 let task = sol.routes[rb].stops.remove(pb);
-                let (ra, pa) = find(sol, before).expect("before still present");
+                let Some((ra, pa)) = find(sol, before) else {
+                    // Degenerate `(x, x)` pair: removing `after` also
+                    // removed `before`. Restore and skip.
+                    sol.routes[rb].stops.insert(pb, task);
+                    continue;
+                };
                 let mut at = pa + 1;
                 if let Some(group) = self
                     .groups

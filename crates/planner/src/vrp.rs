@@ -18,7 +18,7 @@
 use androne_hal::GeoPoint;
 use androne_energy::DorlingModel;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// One waypoint visit to schedule.
 #[derive(Debug, Clone)]
@@ -186,11 +186,7 @@ impl VrpProblem {
         }
         // Respect the fleet-size cap by merging the shortest routes.
         while routes.len() > self.fleet_size.max(1) {
-            routes.sort_by(|a, b| {
-                self.route_time_s(a)
-                    .partial_cmp(&self.route_time_s(b))
-                    .expect("route times are finite")
-            });
+            routes.sort_by(|a, b| self.route_time_s(a).total_cmp(&self.route_time_s(b)));
             let short = routes.remove(0);
             routes[0].stops.extend(short.stops);
         }
@@ -213,7 +209,7 @@ impl VrpProblem {
         seed: u64,
         constraints: &crate::constraints::RouteConstraints,
     ) -> VrpSolution {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = androne_simkern::stream_rng(seed);
         let mut current = self.greedy();
         if !constraints.is_empty() {
             constraints.repair(&mut current);

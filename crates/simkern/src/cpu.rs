@@ -187,6 +187,7 @@ impl ResourceSet {
     /// Panics if the kind is absent, which cannot happen for sets made
     /// by [`ResourceSet::rpi3`].
     pub fn get(&self, kind: ResourceKind) -> &SharedResource {
+        // dronelint:allow(R3, documented # Panics invariant: every constructor populates all ResourceKind variants)
         self.resources.get(&kind).expect("resource kind present")
     }
 
@@ -196,6 +197,7 @@ impl ResourceSet {
     ///
     /// Panics if the kind is absent (see [`ResourceSet::get`]).
     pub fn get_mut(&mut self, kind: ResourceKind) -> &mut SharedResource {
+        // dronelint:allow(R3, documented # Panics invariant: every constructor populates all ResourceKind variants)
         self.resources.get_mut(&kind).expect("resource kind present")
     }
 

@@ -18,7 +18,7 @@
 //! of the dual-run determinism check.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::net::BurstLoss;
 use crate::statehash::{StateHash, StateHasher};
@@ -192,7 +192,7 @@ impl FaultPlan {
     /// their victim deterministically from `targets` (the set of
     /// virtual drones expected on the flight).
     pub fn generate_targeted(seed: u64, horizon_ticks: u64, targets: &[String]) -> FaultPlan {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17_7C0D_E5EE_D000);
+        let mut rng = crate::rng::fault_stream_rng(seed);
         let horizon = horizon_ticks.max(12);
         let count = rng.gen_range(2..=5);
         let mut events = Vec::with_capacity(count);
@@ -442,7 +442,7 @@ impl FleetFaultPlan {
         tenants: &[String],
         horizon_ticks: u64,
     ) -> FleetFaultPlan {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1EE_7FA1_7000_0000);
+        let mut rng = crate::rng::fleet_fault_stream_rng(seed);
         let horizon = horizon_ticks.max(12);
         let arm_span = (horizon * 3 / 4).max(5);
 

@@ -1,10 +1,9 @@
 //! The simulated kernel: configuration plus the subsystem ledgers.
 
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::rc::Rc;
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::cpu::{ResourceKind, ResourceSet};
 use crate::latency::{profiles, InterferenceSource, LatencyModel, Preemption};
@@ -71,7 +70,13 @@ impl KernelConfig {
 /// A kernel handle shared across simulated subsystems (the container
 /// runtime, the Binder driver, the workload models all account
 /// against the same board).
-pub type SharedKernel = Arc<Mutex<Kernel>>;
+///
+/// Single-threaded by design: a board and everything simulated on it
+/// lives inside one flight island (`core::pool` moves whole flights,
+/// never kernels, across threads), so the handle is `Rc<RefCell<..>>`
+/// rather than a lock — dronelint R9 bans lock acquisition on
+/// island-reachable paths precisely so this stays true.
+pub type SharedKernel = Rc<RefCell<Kernel>>;
 
 /// The simulated kernel instance for one board.
 pub struct Kernel {
@@ -100,14 +105,14 @@ impl Kernel {
             mem: MemoryLedger::rpi3(),
             resources: ResourceSet::rpi3(),
             latency,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: crate::rng::stream_rng(seed),
             now: SimTime::ZERO,
         }
     }
 
     /// Boots a kernel and wraps it in a shared handle.
     pub fn boot_shared(config: KernelConfig, seed: u64) -> SharedKernel {
-        Arc::new(Mutex::new(Self::boot(config, seed)))
+        Rc::new(RefCell::new(Self::boot(config, seed)))
     }
 
     /// The kernel's build configuration.

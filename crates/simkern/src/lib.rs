@@ -36,6 +36,7 @@ pub mod kernel;
 pub mod latency;
 pub mod mem;
 pub mod net;
+pub mod rng;
 pub mod statehash;
 pub mod stats;
 pub mod task;
@@ -52,6 +53,7 @@ pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{BoardMemoryProfile, MemOwner, MemoryLedger, MIB};
 pub use net::{BurstLoss, LinkModel, LinkState};
+pub use rng::{fault_stream_rng, fleet_fault_stream_rng, stream_rng};
 pub use statehash::{substream_seed, StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};
 pub use task::{ContainerId, Euid, Pid, SchedPolicy, Task, TaskState, TaskTable};

@@ -40,7 +40,7 @@ fn main() {
     let container = vd.container;
     let euid = vd.apps.get("com.example.survey").unwrap().euid;
     let app_pid = {
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         k.tasks
             .spawn("survey-app", euid, container, SchedPolicy::DEFAULT)
             .unwrap()

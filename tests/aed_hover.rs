@@ -38,7 +38,7 @@ fn hover_aed(seed: u64, run_passmark: bool) -> androne::flight::AedReport {
     if run_passmark {
         // Three virtual drones run PassMark while the drone hovers
         // (the kernel-side load is what could disturb the fast loop).
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         let _scores = run_concurrent(&mut k, 3, true);
         k.add_interference(androne::simkern::latency::profiles::passmark_load());
     }

@@ -45,7 +45,7 @@ fn stream_flows_at_waypoint_and_is_cut_on_revocation() {
     let container = vd.container;
     let euid = vd.apps.get("com.example.stream").unwrap().euid;
     let app = {
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         k.tasks
             .spawn("stream-app", euid, container, SchedPolicy::DEFAULT)
             .unwrap()
@@ -133,7 +133,7 @@ fn streams_of_different_tenants_are_independent() {
         let container = vd.container;
         let euid = vd.apps.get("com.example.stream").unwrap().euid;
         let app = {
-            let mut k = drone.kernel.lock();
+            let mut k = drone.kernel.borrow_mut();
             k.tasks
                 .spawn("app", euid, container, SchedPolicy::DEFAULT)
                 .unwrap()

@@ -271,7 +271,7 @@ fn empty_fault_plan_is_bit_identical_to_baseline() {
         drone.board.borrow_mut().rng.next_u64(),
         10880446920844866505
     );
-    assert_eq!(drone.kernel.lock().rng().next_u64(), 8156589452691600790);
+    assert_eq!(drone.kernel.borrow_mut().rng().next_u64(), 8156589452691600790);
     assert!(injector.actions().is_empty());
 }
 

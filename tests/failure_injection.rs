@@ -158,7 +158,7 @@ fn app_ignoring_revocation_is_terminated() {
 
     // The app opens a camera session at the waypoint...
     let app_pid = {
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         k.tasks
             .spawn("hog", euid, container, SchedPolicy::DEFAULT)
             .unwrap()
@@ -177,7 +177,7 @@ fn app_ignoring_revocation_is_terminated() {
     drone.vdc.borrow_mut().on_waypoint_departed("vd1", 0);
     let killed = drone.enforce_revocation("vd1");
     assert_eq!(killed, vec![app_pid], "the holdout process is terminated");
-    let k = drone.kernel.lock();
+    let k = drone.kernel.borrow();
     assert_eq!(k.tasks.get(app_pid).unwrap().state, TaskState::Dead);
 }
 

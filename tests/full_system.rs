@@ -245,7 +245,7 @@ fn vdrone_app_reaches_camera_only_at_waypoint() {
 
     // Spawn the app's process.
     let app_pid = {
-        let mut k = drone.kernel.lock();
+        let mut k = drone.kernel.borrow_mut();
         k.tasks
             .spawn("survey-app", euid, container, SchedPolicy::DEFAULT)
             .unwrap()

@@ -68,7 +68,7 @@ fn flight_container_is_denied_the_camera() {
     // only; a compromised flight stack cannot spy through the camera.
     let mut drone = Drone::boot(BASE, 54).unwrap();
     let bridge_pid = {
-        let k = drone.kernel.lock();
+        let k = drone.kernel.borrow();
         let pid = k
             .tasks
             .live()

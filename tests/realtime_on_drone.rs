@@ -37,7 +37,7 @@ fn stressed_androne_drone_meets_the_fast_loop_deadline() {
         drone.deploy_vdrone(&format!("vd{i}"), spec(), &[]).unwrap();
     }
     let flight_ctr = drone.runtime.get("flight").unwrap().id;
-    let mut kernel = drone.kernel.lock();
+    let mut kernel = drone.kernel.borrow_mut();
     start_stress(&mut kernel, StressConfig::paper());
     let result = run_cyclictest(&mut kernel, flight_ctr, 200_000);
     assert!(
@@ -52,7 +52,7 @@ fn stressed_androne_drone_meets_the_fast_loop_deadline() {
 fn navio2_default_kernel_occasionally_misses_under_stress() {
     let drone = Drone::boot_with_config(BASE, 62, KernelConfig::NAVIO2_DEFAULT).unwrap();
     let flight_ctr = drone.runtime.get("flight").unwrap().id;
-    let mut kernel = drone.kernel.lock();
+    let mut kernel = drone.kernel.borrow_mut();
     start_stress(&mut kernel, StressConfig::paper());
     let result = run_cyclictest(&mut kernel, flight_ctr, 200_000);
     assert!(
@@ -69,7 +69,7 @@ fn flight_controller_task_runs_at_top_rt_priority() {
     // The boot sequence must configure ArduPilot the way the paper's
     // cyclictest mirrors it: SCHED_FIFO 99 with memory locked.
     let drone = Drone::boot(BASE, 63).unwrap();
-    let k = drone.kernel.lock();
+    let k = drone.kernel.borrow();
     let ap = k
         .tasks
         .live()
