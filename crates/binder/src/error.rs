@@ -35,6 +35,10 @@ pub enum BinderError {
     /// The transaction did not complete in time (injected fault or a
     /// stalled remote).
     TimedOut,
+    /// The sender's per-tenant QoS budget rejected the call (token
+    /// bucket empty, parcel over the size ceiling, fd or subscription
+    /// budget exhausted). Carries the budget dimension that tripped.
+    Throttled(&'static str),
 }
 
 impl fmt::Display for BinderError {
@@ -52,6 +56,7 @@ impl fmt::Display for BinderError {
             BinderError::ServiceNotFound(name) => write!(f, "service '{name}' not found"),
             BinderError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
             BinderError::TimedOut => write!(f, "transaction timed out"),
+            BinderError::Throttled(dim) => write!(f, "throttled by tenant budget: {dim}"),
         }
     }
 }

@@ -1,0 +1,434 @@
+//! The adversarial-tenant layer: drives an [`AttackPlan`] against a
+//! live drone and watches the fast loop for deadline damage.
+//!
+//! Two probes compose on the flight executor:
+//!
+//! - [`AttackInjector`] arms and disarms attack events exactly as
+//!   [`crate::injector::FaultInjector`] does fault events, then
+//!   *drives* each armed attack every simulated second: Binder
+//!   transaction floods and oversized-parcel bombs through the real
+//!   admission path, telemetry subscription storms, CPU-quota
+//!   saturation on the shared scheduler, fd-table exhaustion. With an
+//!   [`AttackDefense`] armed it also walks the escalation ladder —
+//!   budget, rate-halving, tenant suspension, watchdog revocation —
+//!   off the driver's per-tenant throttle counters.
+//! - [`RtMonitor`] samples the kernel's interference-aware latency
+//!   model at the 400 Hz fast-loop rate from its own dedicated RNG
+//!   stream and counts 2500 µs deadline misses, feeding the
+//!   `flight.jitter_us` histogram the black-box recorder tails.
+//!
+//! Determinism contract: with an empty plan the injector does zero
+//! work — no RNG draws, no obs writes, no kernel or driver state
+//! touched — so an injector-observed flight is bit-identical to an
+//! unobserved one. The monitor draws only from the
+//! `rt_monitor_stream_rng` substream and reads the latency model
+//! immutably, so it never perturbs the kernel RNG the flight replays
+//! on.
+
+use std::collections::BTreeMap;
+
+use androne_binder::TenantQos;
+use androne_obs::{Subsystem, TraceEvent};
+use androne_simkern::latency::profiles;
+use androne_simkern::{rt_monitor_stream_rng, ClientId, ContainerId, ResourceKind};
+use androne_workloads::{AttackClock, AttackKind, AttackPlan, ARDUPILOT_DEADLINE_US};
+use rand::rngs::SmallRng;
+
+use crate::drone::Drone;
+use crate::probe::FlightProbe;
+
+/// Enforcement configuration the injector arms on each attacker at
+/// attack-arm time. `None` anywhere an `Option<AttackDefense>` is
+/// taken means *enforcement disabled* — the unthrottled worst case
+/// the adversarial gate proves breaches the fast loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackDefense {
+    /// Per-tenant Binder budget (token-bucket rate, parcel ceiling,
+    /// fd and subscription budgets) armed on the attacker.
+    pub budget: TenantQos,
+    /// cgroup-style CPU bandwidth cap (cores) clamped onto the
+    /// attacker's scheduler demand during CPU-saturation attacks.
+    pub cpu_quota: f64,
+    /// Throttle events before the attacker's Binder rate is halved.
+    pub halve_after: u64,
+    /// Throttle events before the VDC suspends the tenant.
+    pub suspend_after: u64,
+    /// Throttle events before the watchdog revokes the tenant.
+    pub revoke_after: u64,
+}
+
+impl Default for AttackDefense {
+    fn default() -> Self {
+        AttackDefense {
+            budget: TenantQos::DEFENSIVE_DEFAULT,
+            cpu_quota: 0.5,
+            halve_after: 256,
+            suspend_after: 2_048,
+            revoke_after: 16_384,
+        }
+    }
+}
+
+/// How far up the escalation ladder one attacker has been pushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// Budget armed, no escalation yet.
+    Budgeted,
+    /// Binder rate halved.
+    RateHalved,
+    /// VDC suspended the tenant (continuous devices paused).
+    Suspended,
+    /// Watchdog revoked the tenant (flight over for it).
+    Revoked,
+}
+
+impl LadderRung {
+    fn name(self) -> &'static str {
+        match self {
+            LadderRung::Budgeted => "budgeted",
+            LadderRung::RateHalved => "rate-halved",
+            LadderRung::Suspended => "suspended",
+            LadderRung::Revoked => "revoked",
+        }
+    }
+}
+
+/// Applies an attack plan to a drone, one simulated second at a time.
+/// See the module docs for the drive/enforcement model.
+pub struct AttackInjector {
+    clock: AttackClock,
+    defense: Option<AttackDefense>,
+    actions: Vec<String>,
+    /// Ladder state per attacker name; absent = not yet budgeted.
+    rungs: BTreeMap<String, LadderRung>,
+}
+
+impl AttackInjector {
+    /// Wraps a plan. `defense: None` runs the attacks unthrottled.
+    pub fn new(plan: AttackPlan, defense: Option<AttackDefense>) -> Self {
+        AttackInjector {
+            clock: AttackClock::new(plan),
+            defense,
+            actions: Vec::new(),
+            rungs: BTreeMap::new(),
+        }
+    }
+
+    /// The plan being driven.
+    pub fn plan(&self) -> &AttackPlan {
+        self.clock.plan()
+    }
+
+    /// Human-readable log of every transition and ladder step so far.
+    pub fn actions(&self) -> &[String] {
+        &self.actions
+    }
+
+    /// The highest ladder rung `attacker` reached, if enforcement
+    /// engaged it at all.
+    pub fn rung(&self, attacker: &str) -> Option<LadderRung> {
+        self.rungs.get(attacker).copied()
+    }
+
+    /// Ladder state for every attacker enforcement touched, sorted.
+    pub fn rungs(&self) -> impl Iterator<Item = (&str, LadderRung)> {
+        self.rungs.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    fn container_of(drone: &Drone, attacker: &str) -> Option<ContainerId> {
+        drone.vdrones.get(attacker).map(|v| v.container)
+    }
+
+    fn record(&mut self, drone: &Drone, kind: &'static str, attacker: &str, armed: bool, action: String) {
+        drone.obs.count("attack.transitions", 1);
+        let attacker = attacker.to_string();
+        drone.obs.emit(Subsystem::Fault, || TraceEvent::AttackEdge {
+            kind,
+            attacker,
+            armed,
+            detail: action.clone(),
+        });
+        self.actions.push(action);
+    }
+
+    /// Applies every attack transition scheduled at `tick`, then
+    /// drives each armed attack's per-tick load and advances the
+    /// escalation ladder. Call once per simulated second.
+    pub fn apply_tick(&mut self, tick: u64, drone: &mut Drone) {
+        if self.clock.plan().is_empty() {
+            return;
+        }
+        let transitions = self.clock.transitions_at(tick);
+        for t in transitions {
+            let Some(event) = self.clock.plan().events.get(t.index).cloned() else {
+                continue;
+            };
+            self.apply_transition(tick, &event.attacker, event.kind, t.armed, drone);
+        }
+        self.drive_armed(drone);
+        self.advance_ladder(tick, drone);
+    }
+
+    fn apply_transition(
+        &mut self,
+        tick: u64,
+        attacker: &str,
+        kind: AttackKind,
+        armed: bool,
+        drone: &mut Drone,
+    ) {
+        let verb = if armed { "arm" } else { "disarm" };
+        let Some(container) = Self::container_of(drone, attacker) else {
+            let action = format!("t={tick} {verb} {} {attacker}: not deployed", kind.name());
+            self.record(drone, kind.name(), attacker, armed, action);
+            return;
+        };
+        if armed {
+            // Enforcement arms with the attack: budget the tenant,
+            // then register the attack's residual interference — the
+            // throttled profile when defended, the raw one when not.
+            let profile = match self.defense {
+                Some(d) => {
+                    if drone.driver.tenant_budget(&container).is_none() {
+                        drone.driver.set_tenant_budget(container, d.budget);
+                        self.rungs
+                            .entry(attacker.to_string())
+                            .or_insert(LadderRung::Budgeted);
+                    }
+                    profiles::attack_throttled(kind.source_name())
+                }
+                None => profiles::attack_unenforced(kind.source_name()),
+            };
+            drone.kernel.borrow_mut().add_interference(profile);
+        } else {
+            drone.kernel.borrow_mut().remove_interference(kind.source_name());
+        }
+        match kind {
+            AttackKind::TelemetryStorm { .. } if !armed => {
+                drone.driver.release_subscriptions(&container);
+            }
+            AttackKind::CpuSaturation { demand } => {
+                let mut kernel = drone.kernel.borrow_mut();
+                let cpu = kernel.resources.get_mut(ResourceKind::Cpu);
+                let client = ClientId::from(attacker);
+                if armed {
+                    cpu.register(attacker, demand);
+                    if let Some(d) = self.defense {
+                        cpu.set_quota(attacker, d.cpu_quota);
+                    }
+                } else {
+                    cpu.unregister(&client);
+                    cpu.clear_quota(&client);
+                }
+            }
+            _ => {}
+        }
+        let action = format!("t={tick} {verb} {} {attacker}", kind.name());
+        self.record(drone, kind.name(), attacker, armed, action);
+    }
+
+    /// One second of load from every armed attack.
+    fn drive_armed(&mut self, drone: &mut Drone) {
+        for index in 0..self.clock.plan().events.len() {
+            if !self.clock.is_armed(index) {
+                continue;
+            }
+            let Some(event) = self.clock.plan().events.get(index).cloned() else {
+                continue;
+            };
+            let Some(container) = Self::container_of(drone, &event.attacker) else {
+                continue;
+            };
+            match event.kind {
+                AttackKind::BinderFlood { per_tick } => {
+                    for _ in 0..per_tick {
+                        let _ = drone.driver.attack_transact(container, 64);
+                    }
+                }
+                AttackKind::ParcelBomb { wire_size } => {
+                    // A bomb is few transactions, each enormous; the
+                    // parcel ceiling (not the rate) is the defense.
+                    for _ in 0..8 {
+                        let _ = drone.driver.attack_transact(container, wire_size as usize);
+                    }
+                }
+                AttackKind::TelemetryStorm { subscribers } => {
+                    for _ in 0..subscribers {
+                        let _ = drone.driver.try_subscribe(container);
+                    }
+                }
+                AttackKind::CpuSaturation { .. } => {
+                    // Scheduler pressure is standing demand registered
+                    // at arm time; nothing to drive per tick.
+                }
+                AttackKind::FdExhaustion { per_tick } => {
+                    for _ in 0..per_tick {
+                        let _ = drone.driver.attack_install_fd(container);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks each budgeted attacker up the ladder as its cumulative
+    /// throttle count crosses the configured thresholds. One rung per
+    /// tick at most — graceful degradation, not a cliff.
+    fn advance_ladder(&mut self, tick: u64, drone: &mut Drone) {
+        let Some(d) = self.defense else {
+            return;
+        };
+        let attackers = self.clock.plan().attackers();
+        for attacker in attackers {
+            let Some(rung) = self.rungs.get(&attacker).copied() else {
+                continue;
+            };
+            let Some(container) = Self::container_of(drone, &attacker) else {
+                continue;
+            };
+            let throttles = drone.driver.throttle_count(&container);
+            let next = match rung {
+                LadderRung::Budgeted if throttles >= d.halve_after => {
+                    if !drone.driver.halve_tenant_rate(&container) {
+                        continue;
+                    }
+                    LadderRung::RateHalved
+                }
+                LadderRung::RateHalved if throttles >= d.suspend_after => {
+                    drone.vdc.borrow_mut().on_tenant_suspended(
+                        &attacker,
+                        &format!("binder budget tripped {throttles} times"),
+                    );
+                    LadderRung::Suspended
+                }
+                LadderRung::Suspended if throttles >= d.revoke_after => {
+                    drone.vdc.borrow_mut().on_watchdog_revoked(&attacker);
+                    LadderRung::Revoked
+                }
+                _ => continue,
+            };
+            self.rungs.insert(attacker.clone(), next);
+            drone.obs.count("attack.ladder.steps", 1);
+            let action = format!(
+                "t={tick} ladder {attacker} -> {} (throttles={throttles})",
+                next.name()
+            );
+            self.record(drone, "ladder", &attacker, true, action);
+        }
+    }
+}
+
+impl FlightProbe for AttackInjector {
+    fn on_tick(&mut self, tick: u64, drone: &mut Drone) {
+        self.apply_tick(tick, drone);
+    }
+}
+
+/// Histogram bounds (µs) for the fast-loop wakeup jitter the
+/// [`RtMonitor`] records; the last bound sits at four times the
+/// ArduPilot deadline so the breach tail stays visible.
+pub const FLIGHT_JITTER_BOUNDS: &[u64] = &[10, 25, 50, 100, 250, 500, 1_000, 2_500, 10_000];
+
+/// The RT-deadline monitor probe: every simulated second it draws
+/// `samples_per_tick` wakeup latencies from the kernel's
+/// interference-aware latency model — the fast loop runs at 400 Hz,
+/// so 400 samples per tick mirrors one wakeup per loop — and counts
+/// misses against ArduPilot's 2500 µs budget. Draws come from the
+/// monitor's own [`rt_monitor_stream_rng`] substream; the kernel RNG
+/// is never touched.
+pub struct RtMonitor {
+    rng: SmallRng,
+    samples_per_tick: u32,
+    samples: u64,
+    misses: u64,
+    max_us: f64,
+}
+
+impl RtMonitor {
+    /// A monitor at the fast-loop rate (400 samples per simulated
+    /// second), seeded from the flight's RNG substream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_rate(seed, 400)
+    }
+
+    /// A monitor with an explicit per-tick sample count.
+    pub fn with_rate(seed: u64, samples_per_tick: u32) -> Self {
+        RtMonitor {
+            rng: rt_monitor_stream_rng(seed),
+            samples_per_tick,
+            samples: 0,
+            misses: 0,
+            max_us: 0.0,
+        }
+    }
+
+    /// Wakeup latencies sampled so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples that blew the 2500 µs fast-loop deadline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Worst wakeup latency observed, µs.
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+}
+
+impl FlightProbe for RtMonitor {
+    fn on_tick(&mut self, _tick: u64, drone: &mut Drone) {
+        let kernel = drone.kernel.borrow();
+        let model = kernel.latency_model();
+        for _ in 0..self.samples_per_tick {
+            let us = model.sample(&mut self.rng).as_micros_f64();
+            self.samples += 1;
+            if us > self.max_us {
+                self.max_us = us;
+            }
+            if us > ARDUPILOT_DEADLINE_US {
+                self.misses += 1;
+            }
+            drone
+                .obs
+                .observe("flight.jitter_us", FLIGHT_JITTER_BOUNDS, us as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use androne_workloads::AttackPlan;
+
+    #[test]
+    fn empty_plan_injector_is_inert() {
+        let inj = AttackInjector::new(AttackPlan::empty(), Some(AttackDefense::default()));
+        assert!(inj.plan().is_empty());
+        assert!(inj.actions().is_empty());
+        assert!(inj.rungs().next().is_none());
+    }
+
+    #[test]
+    fn rt_monitor_is_deterministic_per_seed() {
+        // Same seed, same draw sequence; the monitor never consults
+        // wall clock or global state.
+        use rand::Rng;
+        let mut a = rt_monitor_stream_rng(42);
+        let mut b = rt_monitor_stream_rng(42);
+        let (x, y): (u64, u64) = (a.gen(), b.gen());
+        assert_eq!(x, y);
+        let m = RtMonitor::new(42);
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.misses(), 0);
+        assert_eq!(m.max_us(), 0.0);
+    }
+
+    #[test]
+    fn ladder_rungs_order_by_severity() {
+        assert!(LadderRung::Budgeted < LadderRung::RateHalved);
+        assert!(LadderRung::RateHalved < LadderRung::Suspended);
+        assert!(LadderRung::Suspended < LadderRung::Revoked);
+    }
+}

@@ -51,7 +51,9 @@ use androne_obs::{MetricsRegistry, ObsHandle, Subsystem, TraceSegment};
 use androne_planner::FlightPlan;
 use androne_simkern::{substream_seed, FaultPlan, FleetFaultPlan, StateHasher};
 use androne_vdc::{VirtualDroneSpec, WatchdogConfig};
+use androne_workloads::AttackPlan;
 
+use crate::attack::{AttackDefense, AttackInjector, RtMonitor};
 use crate::drone::{Drone, DroneError};
 use crate::flight_exec::{execute_flight_probed, EndReason, FlightLog};
 use crate::injector::FaultInjector;
@@ -183,8 +185,12 @@ pub struct FlightRecord {
     /// FNV fold of every per-tick component hash — the flight's
     /// trajectory fingerprint for dual-run comparison.
     pub trace_digest: u64,
-    /// The injector's action log (arm/disarm decisions).
+    /// The injector's action log (arm/disarm decisions), fault
+    /// transitions first, then attack transitions and ladder steps.
     pub injected: Vec<String>,
+    /// RT-deadline monitor verdict `(samples, misses, max_us)` —
+    /// `None` on unattacked flights, which carry no monitor.
+    pub rt_deadline: Option<(u64, u64, f64)>,
 }
 
 /// The result of a fleet run.
@@ -226,6 +232,13 @@ impl FleetOutcome {
             for a in &f.injected {
                 h.write_str(a);
             }
+            // Hashed only when a monitor rode the flight, so legacy
+            // pinned digests (no attacks, no monitor) are untouched.
+            if let Some((samples, misses, max_us)) = f.rt_deadline {
+                h.write_u64(samples);
+                h.write_u64(misses);
+                h.write_f64(max_us);
+            }
         }
         for (name, t) in &self.tenants {
             h.write_str(name);
@@ -255,6 +268,41 @@ fn end_reason_tag(r: EndReason) -> u8 {
         EndReason::Aborted => 3,
         EndReason::LinkLost => 4,
         EndReason::WatchdogRevoked => 5,
+    }
+}
+
+/// Fleet-level adversarial workload: per-flight-index attack plans
+/// plus the enforcement posture shared by every attacked flight.
+/// [`FleetAttackPlan::none`] (what [`execute_fleet`] uses) drives
+/// zero attack machinery — the attacked executor with an empty plan
+/// is bit-identical to the legacy one.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAttackPlan {
+    /// Attack plans keyed by global flight index; missing indices fly
+    /// clean.
+    pub flights: BTreeMap<usize, AttackPlan>,
+    /// Enforcement armed on every attacked flight; `None` runs the
+    /// attacks unthrottled (the breach-demonstration posture).
+    pub defense: Option<AttackDefense>,
+}
+
+impl FleetAttackPlan {
+    /// No attacks anywhere.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no flight carries a non-empty attack plan.
+    pub fn is_empty(&self) -> bool {
+        self.flights.values().all(|p| p.is_empty())
+    }
+
+    /// The plan for `flight_index` (empty when unattacked).
+    pub fn effective_plan(&self, flight_index: usize) -> AttackPlan {
+        self.flights
+            .get(&flight_index)
+            .cloned()
+            .unwrap_or_else(AttackPlan::empty)
     }
 }
 
@@ -313,6 +361,10 @@ struct PlanWork {
     sources: Vec<OwnerSource>,
     seed: u64,
     fault_plan: FaultPlan,
+    /// This flight's adversarial workload (empty = unattacked).
+    attack_plan: AttackPlan,
+    /// Enforcement posture when the attack plan is non-empty.
+    defense: Option<AttackDefense>,
     base: GeoPoint,
     max_sim_seconds: f64,
     watchdog: Option<WatchdogConfig>,
@@ -344,6 +396,7 @@ struct IslandFlight {
     total_energy_j: f64,
     trace_digest: u64,
     injected: Vec<String>,
+    rt_deadline: Option<(u64, u64, f64)>,
     /// In sorted-owner order, matching the legacy per-owner loop.
     per_owner: Vec<OwnerPost>,
     /// The drone's full metrics registry, merged into the fleet
@@ -421,10 +474,21 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
     drone.vdc.borrow_mut().set_watchdog(item.watchdog);
 
     let mut injector = FaultInjector::new(item.fault_plan);
+    // An attacked flight also carries the attack injector and the
+    // RT-deadline monitor; an empty attack plan carries neither, so
+    // the probe stack — and with it every legacy pinned digest — is
+    // exactly the pre-attack one.
+    let attacked = !item.attack_plan.is_empty();
+    let mut attacker = AttackInjector::new(item.attack_plan, item.defense);
+    let mut rt_monitor = RtMonitor::new(item.seed);
     let mut digest = DigestProbe::new();
     let outcome = {
         let mut probes = ProbeStack::new();
         probes.push(&mut injector);
+        if attacked {
+            probes.push(&mut attacker);
+            probes.push(&mut rt_monitor);
+        }
         probes.push(&mut digest);
         execute_flight_probed(
             &mut drone,
@@ -469,6 +533,9 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
                 (path, data)
             })
             .collect();
+        // Revocation shows up as a WaypointEnd when it fired at an
+        // active waypoint, or only as the VDC record flag when the
+        // QoS ladder revoked the tenant mid-transit.
         let revoked = outcome.log.iter().any(|e| {
             matches!(
                 e,
@@ -478,7 +545,11 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
                     ..
                 } if o == owner
             )
-        });
+        }) || drone
+            .vdc
+            .borrow()
+            .record(owner)
+            .is_some_and(|r| r.revoked);
         let (wp_prior, flights_prior) = prior.get(owner).copied().unwrap_or((0, 0));
         let (archive, app_state) = drone.save_vdrone(owner)?;
         per_owner.push(OwnerPost {
@@ -503,13 +574,18 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
         .obs
         .with(|o| o.trace.segment(&[Subsystem::Fault]))
         .unwrap_or_default();
+    let mut injected = injector.actions().to_vec();
+    injected.extend(attacker.actions().iter().cloned());
     Ok(IslandVerdict::Flew(Box::new(IslandFlight {
         completed: outcome.completed,
         end_reason: outcome.end_reason,
         duration_s: outcome.duration_s,
         total_energy_j: outcome.total_energy_j,
         trace_digest: digest.digest(),
-        injected: injector.actions().to_vec(),
+        injected,
+        rt_deadline: attacked.then(|| {
+            (rt_monitor.samples(), rt_monitor.misses(), rt_monitor.max_us())
+        }),
         per_owner,
         metrics,
         fault_trace,
@@ -523,7 +599,21 @@ pub fn execute_fleet(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
 ) -> Result<FleetOutcome, DroneError> {
-    execute_fleet_inner(cfg, faults, None)
+    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), None)
+}
+
+/// [`execute_fleet`] with adversarial tenants aboard: each flight in
+/// `attacks` runs its attack plan through an
+/// [`AttackInjector`](crate::attack::AttackInjector) under the plan's
+/// enforcement posture, with an
+/// [`RtMonitor`](crate::attack::RtMonitor) watching the fast loop.
+/// The adversarial gate's entry point.
+pub fn execute_fleet_attacked(
+    cfg: &FleetConfig,
+    faults: &FleetFaultPlan,
+    attacks: &FleetAttackPlan,
+) -> Result<FleetOutcome, DroneError> {
+    execute_fleet_inner(cfg, faults, attacks, None)
 }
 
 /// Test hook: [`execute_fleet`] with a worker panic injected at one
@@ -535,12 +625,13 @@ pub fn execute_fleet_with_worker_chaos(
     faults: &FleetFaultPlan,
     panic_flight: Option<usize>,
 ) -> Result<FleetOutcome, DroneError> {
-    execute_fleet_inner(cfg, faults, panic_flight)
+    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), panic_flight)
 }
 
 fn execute_fleet_inner(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
+    attacks: &FleetAttackPlan,
     panic_flight: Option<usize>,
 ) -> Result<FleetOutcome, DroneError> {
     let pool = WorkerPool::new(cfg.threads);
@@ -743,6 +834,8 @@ fn execute_fleet_inner(
                                 sources: sources.clone(),
                                 seed: flight_seed(cfg.seed, wave, idx),
                                 fault_plan: faults.effective_plan(idx),
+                                attack_plan: attacks.effective_plan(idx),
+                                defense: attacks.defense,
                                 base: cfg.base,
                                 max_sim_seconds: cfg.max_sim_seconds,
                                 watchdog: cfg.watchdog,
@@ -893,6 +986,7 @@ fn execute_fleet_inner(
                             total_energy_j: island.total_energy_j,
                             trace_digest: island.trace_digest,
                             injected: island.injected,
+                            rt_deadline: island.rt_deadline,
                         });
                         fleet_metrics.merge_from(&island.metrics);
                         let _ = cloud_obs.with(|o| o.trace.absorb(&island.fault_trace));

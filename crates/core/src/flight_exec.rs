@@ -225,7 +225,12 @@ pub fn execute_flight_probed(
     let mut end: Option<(u64, EndReason)> = None;
     for step in 0..max_steps {
         let tick = step / 400;
-        drone.obs.set_now_ns(step.saturating_mul(STEP_NS));
+        let now_ns = step.saturating_mul(STEP_NS);
+        drone.obs.set_now_ns(now_ns);
+        // Advance the Binder driver's QoS clock alongside the trace
+        // clock: token buckets refill on sim time. A plain store with
+        // no hashed effect while no tenant budget is armed.
+        drone.driver.set_now_ns(now_ns);
         let events = pilot.step(&mut drone.proxy, &mut drone.sitl);
         for event in events {
             match event {
@@ -233,9 +238,17 @@ pub fn execute_flight_probed(
                     push_event(&mut log, probe, tick, drone, FlightLog::Launched)
                 }
                 PilotEvent::ArrivedAtWaypoint { index, owner } => {
-                    if revoked.contains(&owner) {
+                    let vdc_revoked = drone
+                        .vdc
+                        .borrow()
+                        .record(&owner)
+                        .is_some_and(|r| r.revoked);
+                    if revoked.contains(&owner) || vdc_revoked {
                         // A watchdog-revoked virtual drone gets no
-                        // handover; the pilot overflies its leg.
+                        // handover; the pilot overflies its leg. The
+                        // VDC flag covers revocations initiated
+                        // outside this loop (the QoS escalation
+                        // ladder).
                         pilot.release_waypoint();
                         continue;
                     }
@@ -415,6 +428,22 @@ pub fn execute_flight_probed(
                             pilot.release_waypoint();
                         }
                     }
+                }
+            }
+            // A revocation initiated through the VDC (the QoS
+            // escalation ladder) ends the active service window the
+            // same way this loop's own watchdog does.
+            if let Some(a) = active.as_mut() {
+                if a.end_reason == EndReason::Completed
+                    && drone
+                        .vdc
+                        .borrow()
+                        .record(&a.owner)
+                        .is_some_and(|r| r.revoked)
+                {
+                    a.end_reason = EndReason::WatchdogRevoked;
+                    revoked.insert(a.owner.clone());
+                    pilot.release_waypoint();
                 }
             }
             if let Some(a) = active.as_mut() {

@@ -24,6 +24,7 @@
 //! for downstream use.
 
 pub mod androne;
+pub mod attack;
 pub mod drone;
 pub mod fleet;
 pub mod flight_exec;
@@ -33,10 +34,11 @@ pub mod probe;
 pub mod sanitizer;
 
 pub use androne::Androne;
+pub use attack::{AttackDefense, AttackInjector, LadderRung, RtMonitor, FLIGHT_JITTER_BOUNDS};
 pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_IMAGE};
 pub use fleet::{
-    execute_fleet, FleetConfig, FleetOutcome, FleetTenant, FlightRecord, TenantOutcome,
-    TenantResolution,
+    execute_fleet, execute_fleet_attacked, FleetAttackPlan, FleetConfig, FleetOutcome,
+    FleetTenant, FlightRecord, TenantOutcome, TenantResolution,
 };
 pub use flight_exec::{
     execute_flight, execute_flight_probed, AbortCheck, EndReason, FlightLog, FlightOutcome,

@@ -21,9 +21,11 @@ use crate::scan::Token;
 /// Iteration order and hashing inside these crates is
 /// experiment-visible — `cloud` and `planner` joined the list once
 /// `execute_fleet`'s ordered merge began replaying cloud effects in
-/// plan order.
+/// plan order, and `workloads` once seed-generated attack plans
+/// started driving the adversarial gate.
 pub const SIM_CRATES: &[&str] = &[
     "simkern", "binder", "flight", "vdc", "core", "mavlink", "obs", "cloud", "planner",
+    "workloads",
 ];
 
 /// The audited home for RNG construction: the one file in the sim

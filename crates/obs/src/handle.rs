@@ -102,6 +102,24 @@ impl ObsHandle {
         let _ = self.with(|o| o.metrics.observe(name, bounds, v));
     }
 
+    /// Adds `n` to the `label`ed member of counter family `name`
+    /// (per-tenant accounting).
+    pub fn count_labeled(&self, name: &'static str, label: &str, n: u64) {
+        let _ = self.with(|o| o.metrics.count_labeled(name, label, n));
+    }
+
+    /// Records `v` into the `label`ed member of histogram family
+    /// `name` (per-tenant latency distributions).
+    pub fn observe_labeled(
+        &self,
+        name: &'static str,
+        label: &str,
+        bounds: &'static [u64],
+        v: u64,
+    ) {
+        let _ = self.with(|o| o.metrics.observe_labeled(name, label, bounds, v));
+    }
+
     /// The registry digest (0 when detached — a detached run has no
     /// metrics to disagree about).
     pub fn metrics_digest(&self) -> u64 {
@@ -118,6 +136,12 @@ impl ObsHandle {
             let mut snap = snapshot_window(&o.trace, window_ns, end_reason);
             if let Some(h) = o.metrics.histogram("binder.latency_ns") {
                 snap.latency_tail = h.recent().collect();
+            }
+            // The fast-loop jitter tail rides the same mechanism:
+            // the RT-deadline monitor feeds "flight.jitter_us", and
+            // flights without the monitor leave the tail empty.
+            if let Some(h) = o.metrics.histogram("flight.jitter_us") {
+                snap.jitter_tail = h.recent().collect();
             }
             snap
         })

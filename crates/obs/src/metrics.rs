@@ -180,6 +180,12 @@ pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Per-label counter families (`name` × owned label, e.g. a
+    /// tenant). Kept in their own namespace so label-free runs hash
+    /// and merge exactly as before the namespace existed.
+    labeled_counters: BTreeMap<(&'static str, String), u64>,
+    /// Per-label histogram families (`name` × owned label).
+    labeled_histograms: BTreeMap<(&'static str, String), Histogram>,
 }
 
 impl MetricsRegistry {
@@ -209,9 +215,74 @@ impl MetricsRegistry {
             .observe(v);
     }
 
+    /// Adds `n` to the `label`ed member of counter family `name`
+    /// (creating it at 0). Labels are owned strings (tenant names,
+    /// container ids) — dynamic data a `&'static str` key cannot
+    /// carry.
+    pub fn count_labeled(&mut self, name: &'static str, label: &str, n: u64) {
+        match self.labeled_counters.get_mut(&(name, label.to_string())) {
+            Some(v) => *v += n,
+            None => {
+                self.labeled_counters.insert((name, label.to_string()), n);
+            }
+        }
+    }
+
+    /// Records `v` into the `label`ed member of histogram family
+    /// `name` (first call pins `bounds`, as for [`Self::observe`]).
+    pub fn observe_labeled(
+        &mut self,
+        name: &'static str,
+        label: &str,
+        bounds: &'static [u64],
+        v: u64,
+    ) {
+        match self.labeled_histograms.get_mut(&(name, label.to_string())) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(v);
+                self.labeled_histograms.insert((name, label.to_string()), h);
+            }
+        }
+    }
+
     /// Current value of counter `name` (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of the `label`ed member of counter family
+    /// `name` (0 if never incremented).
+    pub fn labeled_counter(&self, name: &'static str, label: &str) -> u64 {
+        self.labeled_counters
+            .get(&(name, label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `label`ed member of histogram family `name`, if any
+    /// sample was recorded.
+    pub fn labeled_histogram(&self, name: &'static str, label: &str) -> Option<&Histogram> {
+        self.labeled_histograms.get(&(name, label.to_string()))
+    }
+
+    /// All labeled counters, in (name, label) order.
+    pub fn labeled_counters(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &str, u64)> + '_ {
+        self.labeled_counters
+            .iter()
+            .map(|((name, label), &v)| (*name, label.as_str(), v))
+    }
+
+    /// All labeled histograms, in (name, label) order.
+    pub fn labeled_histograms(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &str, &Histogram)> + '_ {
+        self.labeled_histograms
+            .iter()
+            .map(|((name, label), h)| (*name, label.as_str(), h))
     }
 
     /// Current value of gauge `name`, if ever set.
@@ -261,6 +332,22 @@ impl MetricsRegistry {
                 }
             }
         }
+        for (key, &v) in &other.labeled_counters {
+            match self.labeled_counters.get_mut(key) {
+                Some(mine) => *mine += v,
+                None => {
+                    self.labeled_counters.insert(key.clone(), v);
+                }
+            }
+        }
+        for (key, hist) in &other.labeled_histograms {
+            match self.labeled_histograms.get_mut(key) {
+                Some(mine) => mine.merge_from(hist),
+                None => {
+                    self.labeled_histograms.insert(key.clone(), hist.clone());
+                }
+            }
+        }
     }
 
     /// Folds every metric — names, values, histogram buckets — into
@@ -291,6 +378,33 @@ impl MetricsRegistry {
             }
             h.write_u64(hist.total);
             h.write_u64(hist.sum);
+        }
+        // Labeled namespaces hash only when populated, so a run that
+        // never labels a metric digests exactly as it did before the
+        // namespaces existed (pinned fleet digests depend on this).
+        if !self.labeled_counters.is_empty() {
+            h.write_usize(self.labeled_counters.len());
+            for ((name, label), v) in &self.labeled_counters {
+                h.write_str(name);
+                h.write_str(label);
+                h.write_u64(*v);
+            }
+        }
+        if !self.labeled_histograms.is_empty() {
+            h.write_usize(self.labeled_histograms.len());
+            for ((name, label), hist) in &self.labeled_histograms {
+                h.write_str(name);
+                h.write_str(label);
+                h.write_usize(hist.bounds.len());
+                for b in hist.bounds {
+                    h.write_u64(*b);
+                }
+                for c in &hist.counts {
+                    h.write_u64(*c);
+                }
+                h.write_u64(hist.total);
+                h.write_u64(hist.sum);
+            }
         }
         h.finish()
     }
@@ -431,6 +545,62 @@ mod tests {
         let tail: Vec<u64> = m.histogram("h").expect("histogram").recent().collect();
         assert_eq!(*tail.last().unwrap(), 999, "merge appends the other tail");
         assert_eq!(tail.len(), HISTOGRAM_TAIL_CAP);
+    }
+
+    #[test]
+    fn labeled_counters_accumulate_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.count_labeled("binder.throttled", "ctr2", 1);
+        m.count_labeled("binder.throttled", "ctr2", 2);
+        m.count_labeled("binder.throttled", "ctr3", 5);
+        assert_eq!(m.labeled_counter("binder.throttled", "ctr2"), 3);
+        assert_eq!(m.labeled_counter("binder.throttled", "ctr3"), 5);
+        assert_eq!(m.labeled_counter("binder.throttled", "ctr4"), 0);
+        let all: Vec<_> = m.labeled_counters().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], ("binder.throttled", "ctr2", 3));
+    }
+
+    #[test]
+    fn labeled_histograms_bucket_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.observe_labeled("binder.latency_ns", "ctr2", BOUNDS, 5);
+        m.observe_labeled("binder.latency_ns", "ctr2", BOUNDS, 5_000);
+        m.observe_labeled("binder.latency_ns", "ctr3", BOUNDS, 50);
+        let h2 = m.labeled_histogram("binder.latency_ns", "ctr2").expect("ctr2");
+        assert_eq!(h2.count(), 2);
+        assert_eq!(h2.max(), 5_000);
+        let h3 = m.labeled_histogram("binder.latency_ns", "ctr3").expect("ctr3");
+        assert_eq!(h3.count(), 1);
+        assert!(m.labeled_histogram("binder.latency_ns", "ctr9").is_none());
+    }
+
+    #[test]
+    fn unlabeled_registry_digests_as_before_labels_existed() {
+        // The digest of a label-free registry must not change because
+        // the labeled namespaces exist: the pinned fleet digests were
+        // taken before labels were introduced.
+        let mut a = MetricsRegistry::new();
+        a.count("c", 1);
+        a.observe("h", BOUNDS, 5);
+        let base = a.digest();
+        a.count_labeled("c.by_tenant", "ctr2", 1);
+        assert_ne!(a.digest(), base, "labels must be digest-visible when present");
+    }
+
+    #[test]
+    fn merge_folds_labeled_namespaces() {
+        let mut a = MetricsRegistry::new();
+        a.count_labeled("t", "x", 2);
+        a.observe_labeled("lh", "x", BOUNDS, 5);
+        let mut b = MetricsRegistry::new();
+        b.count_labeled("t", "x", 3);
+        b.count_labeled("t", "y", 1);
+        b.observe_labeled("lh", "x", BOUNDS, 50);
+        a.merge_from(&b);
+        assert_eq!(a.labeled_counter("t", "x"), 5);
+        assert_eq!(a.labeled_counter("t", "y"), 1);
+        assert_eq!(a.labeled_histogram("lh", "x").map(|h| h.count()), Some(2));
     }
 
     #[test]

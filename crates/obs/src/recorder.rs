@@ -38,6 +38,12 @@ pub struct BlackBoxSnapshot {
     /// keeps only their bucket shape. Empty when the flight recorded
     /// no Binder latency.
     pub latency_tail: Vec<u64>,
+    /// The last raw `flight.jitter_us` samples before the end (the
+    /// RT-deadline monitor's fast-loop wakeup jitter, microseconds,
+    /// oldest first). Empty when no monitor ran — and then absent
+    /// from the JSON, so recorder output predating the monitor is
+    /// byte-identical.
+    pub jitter_tail: Vec<u64>,
 }
 
 /// Takes a snapshot of the last `window_ns` of `bus`. The latency
@@ -66,6 +72,7 @@ pub fn snapshot_window(bus: &TraceBus, window_ns: u64, end_reason: &str) -> Blac
         records,
         dropped,
         latency_tail: Vec::new(),
+        jitter_tail: Vec::new(),
     }
 }
 
@@ -149,6 +156,26 @@ fn event_value(event: &TraceEvent) -> Value {
             fields.push(("armed", Value::Bool(*armed)));
             fields.push(("detail", Value::String(detail.clone())));
         }
+        TraceEvent::BinderThrottle {
+            container,
+            dimension,
+            throttled,
+        } => {
+            fields.push(("container", num(u64::from(*container))));
+            fields.push(("dimension", Value::String(dimension.to_string())));
+            fields.push(("throttled", Value::Bool(*throttled)));
+        }
+        TraceEvent::AttackEdge {
+            kind,
+            attacker,
+            armed,
+            detail,
+        } => {
+            fields.push(("attack", Value::String(kind.to_string())));
+            fields.push(("attacker", Value::String(attacker.clone())));
+            fields.push(("armed", Value::Bool(*armed)));
+            fields.push(("detail", Value::String(detail.clone())));
+        }
     }
     object(fields)
 }
@@ -178,7 +205,7 @@ impl BlackBoxSnapshot {
                 ])
             })
             .collect();
-        object(vec![
+        let mut fields = vec![
             ("end_reason", Value::String(self.end_reason.clone())),
             ("ended_at_ns", num(self.ended_at_ns)),
             ("window_ns", num(self.window_ns)),
@@ -188,7 +215,16 @@ impl BlackBoxSnapshot {
                 "latency_tail",
                 Value::Array(self.latency_tail.iter().map(|&v| num(v)).collect()),
             ),
-        ])
+        ];
+        // Conditional so recorder output from flights without the
+        // RT-deadline monitor matches the pre-monitor contract.
+        if !self.jitter_tail.is_empty() {
+            fields.push((
+                "jitter_tail",
+                Value::Array(self.jitter_tail.iter().map(|&v| num(v)).collect()),
+            ));
+        }
+        object(fields)
     }
 
     /// The snapshot as pretty-printed JSON text.

@@ -143,6 +143,28 @@ pub enum TraceEvent {
         /// Free-form detail (channel, target, seed).
         detail: String,
     },
+    /// A per-tenant Binder QoS throttle edge: the tenant entered
+    /// (`throttled == true`) or left the throttled state.
+    BinderThrottle {
+        /// Throttled tenant's container id.
+        container: u32,
+        /// Which budget dimension tripped ("rate", "parcel-size",
+        /// "fd-budget", "subscription-budget") or "recovered".
+        dimension: &'static str,
+        /// True on entering throttle, false on recovery.
+        throttled: bool,
+    },
+    /// An attack-plan transition fired by the attack injector.
+    AttackEdge {
+        /// Stable attack-kind tag.
+        kind: &'static str,
+        /// The hostile tenant mounting the attack.
+        attacker: String,
+        /// True on arm, false on disarm.
+        armed: bool,
+        /// Free-form detail (parameters, enforcement response).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -158,6 +180,8 @@ impl TraceEvent {
             TraceEvent::CloudRetry { .. } => "cloud_retry",
             TraceEvent::CloudDegraded { .. } => "cloud_degraded",
             TraceEvent::FaultEdge { .. } => "fault_edge",
+            TraceEvent::BinderThrottle { .. } => "binder_throttle",
+            TraceEvent::AttackEdge { .. } => "attack_edge",
         }
     }
 }

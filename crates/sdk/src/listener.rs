@@ -34,6 +34,11 @@ pub trait WaypointListener {
     /// The VDC watchdog revoked this virtual drone (stalled or
     /// repeatedly violating policy); the flight is over for this app.
     fn watchdog_revoked(&mut self) {}
+
+    /// The QoS escalation ladder suspended this virtual drone (its
+    /// Binder budget kept tripping); continuous devices are paused
+    /// but the flight — and billing — continues.
+    fn tenant_suspended(&mut self) {}
 }
 
 /// A listener that records every callback, for tests and examples.
@@ -77,5 +82,9 @@ impl WaypointListener for RecordingListener {
 
     fn watchdog_revoked(&mut self) {
         self.log.push("watchdogRevoked()".into());
+    }
+
+    fn tenant_suspended(&mut self) {
+        self.log.push("tenantSuspended()".into());
     }
 }

@@ -111,6 +111,7 @@ impl AndroneSdk {
                     VdcEvent::SuspendContinuousDevices => l.suspend_continuous_devices(),
                     VdcEvent::ResumeContinuousDevices => l.resume_continuous_devices(),
                     VdcEvent::WatchdogRevoked => l.watchdog_revoked(),
+                    VdcEvent::TenantSuspended => l.tenant_suspended(),
                 }
             }
         }

@@ -55,6 +55,12 @@ pub struct SharedResource {
     /// units, so only the ratio matters.
     capacity: f64,
     demands: BTreeMap<ClientId, f64>,
+    /// cgroup-style bandwidth caps (quota over the scheduling
+    /// period, same units as demand): a capped client's *effective*
+    /// demand is `min(demand, quota)` no matter how much it asks
+    /// for. Empty unless enforcement armed a cap, so uncapped runs
+    /// hash and behave exactly as before quotas existed.
+    quotas: BTreeMap<ClientId, f64>,
 }
 
 impl SharedResource {
@@ -74,6 +80,7 @@ impl SharedResource {
             kind,
             capacity,
             demands: BTreeMap::new(),
+            quotas: BTreeMap::new(),
         }
     }
 
@@ -95,14 +102,46 @@ impl SharedResource {
         self.demands.insert(client.into(), demand);
     }
 
-    /// Removes a client's demand.
+    /// Removes a client's demand (its quota, if any, stays armed for
+    /// any demand it registers later).
     pub fn unregister(&mut self, client: &ClientId) {
         self.demands.remove(client);
     }
 
-    /// Aggregate standalone demand across clients.
+    /// Arms a cgroup-style bandwidth cap for `client`: however much
+    /// demand it registers, its effective demand is clamped to
+    /// `quota`. Negative or non-finite quotas clamp to zero (a fully
+    /// frozen client).
+    pub fn set_quota(&mut self, client: impl Into<ClientId>, quota: f64) {
+        let quota = if quota.is_finite() { quota.max(0.0) } else { 0.0 };
+        self.quotas.insert(client.into(), quota);
+    }
+
+    /// Removes `client`'s bandwidth cap.
+    pub fn clear_quota(&mut self, client: &ClientId) {
+        self.quotas.remove(client);
+    }
+
+    /// The armed cap for `client`, if any.
+    pub fn quota_for(&self, client: &ClientId) -> Option<f64> {
+        self.quotas.get(client).copied()
+    }
+
+    /// A client's demand after its bandwidth cap, if armed.
+    fn effective_demand(&self, client: &ClientId, demand: f64) -> f64 {
+        match self.quotas.get(client) {
+            Some(q) => demand.min(*q),
+            None => demand,
+        }
+    }
+
+    /// Aggregate effective demand across clients (bandwidth caps
+    /// applied).
     pub fn total_demand(&self) -> f64 {
-        self.demands.values().sum()
+        self.demands
+            .iter()
+            .map(|(c, d)| self.effective_demand(c, *d))
+            .sum()
     }
 
     /// Number of registered clients.
@@ -116,7 +155,7 @@ impl SharedResource {
     /// full demand; otherwise each receives a proportional share.
     pub fn rate_for(&self, client: &ClientId) -> f64 {
         let demand = match self.demands.get(client) {
-            Some(d) => *d,
+            Some(d) => self.effective_demand(client, *d),
             None => return 0.0,
         };
         let total = self.total_demand();
@@ -225,6 +264,16 @@ impl crate::statehash::StateHash for SharedResource {
             h.write_str(&client.0);
             h.write_f64(*demand);
         }
+        // Quotas hash only when armed: an uncapped resource must
+        // reproduce the exact pre-quota hash stream (the pinned chaos
+        // and fleet baselines depend on it).
+        if !self.quotas.is_empty() {
+            h.write_usize(self.quotas.len());
+            for (client, quota) in &self.quotas {
+                h.write_str(&client.0);
+                h.write_f64(*quota);
+            }
+        }
     }
 }
 
@@ -320,5 +369,64 @@ mod tests {
         r.register("nan", f64::NAN);
         r.register("neg", -5.0);
         assert_eq!(r.total_demand(), 0.0);
+    }
+
+    #[test]
+    fn quota_caps_effective_demand() {
+        // A saturating attacker demands the whole CPU; a 0.5-core cap
+        // keeps its effective demand at 0.5, so the flight task still
+        // gets its full share.
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("flight", 1.0);
+        r.register("attacker", 16.0);
+        assert!(r.slowdown_for(&"flight".into()) > 1.0, "uncapped attacker contends");
+        r.set_quota("attacker", 0.5);
+        assert_eq!(r.total_demand(), 1.5);
+        assert_eq!(r.rate_for(&"flight".into()), 1.0);
+        assert_eq!(r.slowdown_for(&"flight".into()), 1.0);
+        assert_eq!(r.rate_for(&"attacker".into()), 0.5);
+        assert!(r.slowdown_for(&"attacker".into()) > 1.0, "the cap is visible to the attacker");
+    }
+
+    #[test]
+    fn clearing_a_quota_restores_contention() {
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("a", 4.0);
+        r.register("b", 4.0);
+        r.set_quota("b", 0.0);
+        assert_eq!(r.slowdown_for(&"a".into()), 1.0, "frozen client contends nothing");
+        r.clear_quota(&"b".into());
+        assert_eq!(r.slowdown_for(&"a".into()), 2.0);
+    }
+
+    #[test]
+    fn quota_survives_demand_reregistration() {
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.set_quota("attacker", 0.25);
+        r.register("attacker", 8.0);
+        assert_eq!(r.rate_for(&"attacker".into()), 0.25);
+        r.unregister(&"attacker".into());
+        r.register("attacker", 8.0);
+        assert_eq!(r.rate_for(&"attacker".into()), 0.25, "cap outlives the demand");
+    }
+
+    #[test]
+    fn unquoted_resource_hashes_identically_to_pre_quota_layout() {
+        use crate::statehash::{StateHash, StateHasher};
+        let mut r = SharedResource::new(ResourceKind::Cpu, 4.0);
+        r.register("a", 2.0);
+        let mut h1 = StateHasher::new();
+        r.state_hash(&mut h1);
+        let mut capped = r.clone();
+        capped.set_quota("a", 1.0);
+        let mut h2 = StateHasher::new();
+        capped.state_hash(&mut h2);
+        assert_ne!(h1.finish(), h2.finish(), "an armed quota is hash-visible");
+        capped.clear_quota(&"a".into());
+        let mut h3 = StateHasher::new();
+        capped.state_hash(&mut h3);
+        let mut h1b = StateHasher::new();
+        r.state_hash(&mut h1b);
+        assert_eq!(h1b.finish(), h3.finish(), "cleared quotas leave no residue");
     }
 }

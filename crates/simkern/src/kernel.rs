@@ -135,10 +135,27 @@ impl Kernel {
         self.latency.add_source(source);
     }
 
+    /// Removes every interference source with `name` (a throttled or
+    /// ended workload). Returns whether anything was removed.
+    pub fn remove_interference(&mut self, name: &str) -> bool {
+        self.latency.remove_source(name)
+    }
+
     /// Samples one real-time wakeup latency for the highest-priority
     /// FIFO task under the current interference load.
     pub fn sample_rt_latency(&mut self) -> SimDuration {
         self.latency.sample(&mut self.rng)
+    }
+
+    /// Borrows the latency model without touching the kernel RNG.
+    ///
+    /// Monitors that sample the model at high rates (the RT-deadline
+    /// probe samples one 400 Hz period per tick) must bring their own
+    /// dedicated stream ([`crate::rng::rt_monitor_stream_rng`]) so
+    /// their draws stay invisible to the kernel stream the pinned
+    /// chaos baselines fingerprint.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
     }
 
     /// Borrows the deterministic RNG (for subsystems that need

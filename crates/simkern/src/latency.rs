@@ -140,6 +140,20 @@ impl LatencyModel {
         self.sources.push(source);
     }
 
+    /// Removes every interference source with `name` (e.g. when an
+    /// attack is throttled or its window closes). Returns whether
+    /// anything was removed.
+    pub fn remove_source(&mut self, name: &str) -> bool {
+        let before = self.sources.len();
+        self.sources.retain(|s| s.name != name);
+        self.sources.len() != before
+    }
+
+    /// Whether a source with `name` is currently registered.
+    pub fn has_source(&self, name: &str) -> bool {
+        self.sources.iter().any(|s| s.name == name)
+    }
+
     /// Samples one wakeup latency.
     pub fn sample(&self, rng: &mut impl Rng) -> SimDuration {
         let mut us = self.base_us + rng.gen::<f64>() * self.base_jitter_us;
@@ -219,6 +233,52 @@ pub mod profiles {
                 utilization: 0.014,
                 mean_us: 30.0,
                 max_us: 220.0,
+            },
+        }
+    }
+
+    /// An adversarial tenant running *unthrottled*: a malicious
+    /// container hammering Binder, telemetry, and the scheduler with
+    /// no per-tenant isolation armed. Unlike the benign workloads
+    /// above, the sections here model a worst-case co-tenant that a
+    /// PREEMPT_RT kernel alone cannot absorb — softirq storms and
+    /// cross-core IPI pressure long enough to blow the 2500 µs
+    /// fast-loop budget. This is the DoS scenario the per-tenant
+    /// Binder rate limits and CPU bandwidth caps exist to prevent;
+    /// the adversarial gate proves flights under it miss deadlines.
+    pub fn attack_unenforced(name: &'static str) -> InterferenceSource {
+        InterferenceSource {
+            name,
+            preempt: super::SectionParams {
+                utilization: 0.45,
+                mean_us: 4_000.0,
+                max_us: 28_000.0,
+            },
+            preempt_rt: super::SectionParams {
+                utilization: 0.35,
+                mean_us: 3_000.0,
+                max_us: 9_000.0,
+            },
+        }
+    }
+
+    /// The same adversarial tenant with per-tenant enforcement armed:
+    /// throttled Binder admission and a CPU bandwidth cap reduce its
+    /// residual interference to less than the paper's `stress` run —
+    /// bounded section lengths that keep cyclictest inside the
+    /// PREEMPT_RT envelope.
+    pub fn attack_throttled(name: &'static str) -> InterferenceSource {
+        InterferenceSource {
+            name,
+            preempt: super::SectionParams {
+                utilization: 0.060,
+                mean_us: 900.0,
+                max_us: 14_000.0,
+            },
+            preempt_rt: super::SectionParams {
+                utilization: 0.030,
+                mean_us: 50.0,
+                max_us: 280.0,
             },
         }
     }
@@ -332,5 +392,44 @@ mod tests {
         let a = run(&m, 10_000, 42);
         let b = run(&m, 10_000, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removing_a_source_restores_the_quiet_model() {
+        let mut m =
+            LatencyModel::new(Preemption::PreemptRt, vec![profiles::idle_housekeeping()]);
+        m.add_source(profiles::attack_unenforced("attack:flood"));
+        assert!(m.has_source("attack:flood"));
+        assert!(m.remove_source("attack:flood"));
+        assert!(!m.has_source("attack:flood"));
+        assert!(!m.remove_source("attack:flood"), "second removal is a no-op");
+        let quiet = LatencyModel::new(Preemption::PreemptRt, vec![profiles::idle_housekeeping()]);
+        assert_eq!(run(&m, 50_000, 21), run(&quiet, 50_000, 21));
+    }
+
+    #[test]
+    fn unenforced_attack_breaches_the_fast_loop_even_on_rt() {
+        let m = LatencyModel::new(
+            Preemption::PreemptRt,
+            vec![
+                profiles::idle_housekeeping(),
+                profiles::attack_unenforced("attack:flood"),
+            ],
+        );
+        let (_, max) = run(&m, 100_000, 22);
+        assert!(max > 2_500.0, "unenforced attack max {max} must breach");
+    }
+
+    #[test]
+    fn throttled_attack_stays_inside_the_rt_envelope() {
+        let m = LatencyModel::new(
+            Preemption::PreemptRt,
+            vec![
+                profiles::idle_housekeeping(),
+                profiles::attack_throttled("attack:flood"),
+            ],
+        );
+        let (_, max) = run(&m, 400_000, 23);
+        assert!(max < 2_500.0, "throttled attack max {max} must meet the fast loop");
     }
 }

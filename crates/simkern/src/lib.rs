@@ -53,7 +53,10 @@ pub use kernel::{Kernel, KernelConfig, SharedKernel};
 pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{BoardMemoryProfile, MemOwner, MemoryLedger, MIB};
 pub use net::{BurstLoss, LinkModel, LinkState};
-pub use rng::{fault_stream_rng, fleet_fault_stream_rng, stream_rng};
+pub use rng::{
+    attack_stream_rng, fault_stream_rng, fleet_fault_stream_rng, rt_monitor_stream_rng,
+    stream_rng,
+};
 pub use statehash::{substream_seed, StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};
 pub use task::{ContainerId, Euid, Pid, SchedPolicy, Task, TaskState, TaskTable};

@@ -40,6 +40,18 @@ const FAULT_STREAM: u64 = 0xFA17_7C0D_E5EE_D000;
 /// XOR separator for the fleet-level fault-plan stream.
 const FLEET_FAULT_STREAM: u64 = 0xF1EE_7FA1_7000_0000;
 
+/// XOR separator for the adversarial attack-plan stream
+/// (`workloads::attacks`). Attacks mirror faults: plan generation
+/// draws from its own family so arming an attack never perturbs the
+/// kernel or board streams of the flight it targets.
+const ATTACK_STREAM: u64 = 0xA77A_C4ED_7E4A_4700;
+
+/// XOR separator for the RT-deadline monitor stream. The monitor
+/// samples the kernel's latency *model* hundreds of times per tick;
+/// giving it a dedicated stream keeps those draws invisible to the
+/// kernel RNG the pinned chaos baselines fingerprint.
+const RT_MONITOR_STREAM: u64 = 0x4007_11E4_D11E_5500;
+
 /// Constructs the dedicated per-flight fault-plan stream for `seed`.
 pub fn fault_stream_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed ^ FAULT_STREAM)
@@ -48,6 +60,16 @@ pub fn fault_stream_rng(seed: u64) -> SmallRng {
 /// Constructs the dedicated fleet fault-plan stream for `seed`.
 pub fn fleet_fault_stream_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed ^ FLEET_FAULT_STREAM)
+}
+
+/// Constructs the dedicated attack-plan stream for `seed`.
+pub fn attack_stream_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ ATTACK_STREAM)
+}
+
+/// Constructs the dedicated RT-deadline-monitor stream for `seed`.
+pub fn rt_monitor_stream_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ RT_MONITOR_STREAM)
 }
 
 #[cfg(test)]
@@ -64,12 +86,20 @@ mod tests {
 
     #[test]
     fn stream_families_are_separated() {
-        let root: u64 = stream_rng(7).gen();
-        let fault: u64 = fault_stream_rng(7).gen();
-        let fleet: u64 = fleet_fault_stream_rng(7).gen();
-        assert_ne!(root, fault);
-        assert_ne!(root, fleet);
-        assert_ne!(fault, fleet);
+        let draws: Vec<u64> = vec![
+            stream_rng(7).gen(),
+            fault_stream_rng(7).gen(),
+            fleet_fault_stream_rng(7).gen(),
+            attack_stream_rng(7).gen(),
+            rt_monitor_stream_rng(7).gen(),
+        ];
+        for (i, a) in draws.iter().enumerate() {
+            for (j, b) in draws.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "families {i} and {j} collide");
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub enum VdcEvent {
     /// The VDC watchdog revoked this virtual drone (stalled or
     /// repeatedly violating access policy); its flight is over.
     WatchdogRevoked,
+    /// The tenant was suspended by the QoS escalation ladder (its
+    /// Binder budget kept tripping); continuous devices are paused
+    /// but the flight continues and the tenant still bills.
+    TenantSuspended,
 }
 
 /// Fraction of the allotment remaining at which low-budget warnings
@@ -119,6 +123,11 @@ pub struct VdRecord {
     pub marked_files: Vec<String>,
     /// Set when the app called `waypointCompleted()`.
     pub waypoint_done: bool,
+    /// Set by [`Vdc::on_watchdog_revoked`]; the flight executor
+    /// consults it so VDC-initiated revocations (e.g. the QoS
+    /// escalation ladder) strip the tenant's remaining waypoints
+    /// exactly like executor-initiated ones.
+    pub revoked: bool,
 }
 
 impl VdRecord {
@@ -208,6 +217,7 @@ impl Vdc {
     /// app is told why through its event queue.
     pub fn on_watchdog_revoked(&mut self, name: &str) {
         if let Some(rec) = self.records.get_mut(name) {
+            rec.revoked = true;
             rec.events.push_back(VdcEvent::WatchdogRevoked);
             self.access
                 .borrow_mut()
@@ -216,6 +226,40 @@ impl Vdc {
             self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
                 vdrone: name.to_string(),
                 decision: "watchdog-revoked",
+                detail: String::new(),
+            });
+        }
+    }
+
+    /// Suspends a virtual drone: the middle rung of the QoS
+    /// escalation ladder (between rate-halving and watchdog
+    /// revocation). Continuous devices pause — the same mechanism
+    /// privacy suspension uses — but the flight phase is untouched,
+    /// so the tenant keeps billing and can still land. Recoverable
+    /// via [`Vdc::on_tenant_resumed`].
+    pub fn on_tenant_suspended(&mut self, name: &str, detail: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.events.push_back(VdcEvent::TenantSuspended);
+            self.access.borrow_mut().suspend_continuous(rec.container);
+            self.obs.count("vdc.tenant_suspensions", 1);
+            let detail = detail.to_string();
+            self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+                vdrone: name.to_string(),
+                decision: "tenant-suspended",
+                detail,
+            });
+        }
+    }
+
+    /// Lifts a ladder suspension (the tenant's budget pressure
+    /// subsided); continuous devices resume.
+    pub fn on_tenant_resumed(&mut self, name: &str) {
+        if let Some(rec) = self.records.get_mut(name) {
+            rec.events.push_back(VdcEvent::ResumeContinuousDevices);
+            self.access.borrow_mut().resume_continuous(rec.container);
+            self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
+                vdrone: name.to_string(),
+                decision: "tenant-resumed",
                 detail: String::new(),
             });
         }
@@ -277,6 +321,7 @@ impl Vdc {
                 events: VecDeque::new(),
                 marked_files: Vec::new(),
                 waypoint_done: false,
+                revoked: false,
             },
         );
     }
@@ -544,6 +589,7 @@ impl StateHash for VdcEvent {
             VdcEvent::SuspendContinuousDevices => h.write_u8(5),
             VdcEvent::ResumeContinuousDevices => h.write_u8(6),
             VdcEvent::WatchdogRevoked => h.write_u8(7),
+            VdcEvent::TenantSuspended => h.write_u8(8),
         }
     }
 }
@@ -570,6 +616,11 @@ impl StateHash for VdRecord {
             h.write_str(f);
         }
         h.write_bool(self.waypoint_done);
+        // Hashed only when set so records from flights predating the
+        // revocation flag fold to their historical bits.
+        if self.revoked {
+            h.write_bool(self.revoked);
+        }
     }
 }
 
@@ -743,6 +794,36 @@ mod tests {
         vdc.on_watchdog_revoked("vd1");
         assert!(!vdc.allows("vd1", DeviceClass::Camera), "grants lapse");
         assert_eq!(vdc.drain_events("vd1"), vec![VdcEvent::WatchdogRevoked]);
+    }
+
+    #[test]
+    fn ladder_suspension_pauses_continuous_devices_recoverably() {
+        let access = Rc::new(RefCell::new(AccessTable::new()));
+        let mut vdc = Vdc::new(access);
+        let mut spec = VirtualDroneSpec::example_survey();
+        spec.continuous_devices = vec!["gps".into()];
+        let c = ContainerId(10);
+        vdc.register("vd1", c, spec);
+        vdc.on_waypoint_arrived("vd1", 0);
+        vdc.on_waypoint_departed("vd1", 0);
+        vdc.drain_events("vd1");
+        assert!(vdc.allows("vd1", DeviceClass::Gps));
+
+        vdc.on_tenant_suspended("vd1", "binder budget tripped 8 times");
+        assert!(!vdc.allows("vd1", DeviceClass::Gps));
+        assert_eq!(
+            vdc.access().borrow().phase(c),
+            Some(FlightPhase::Transit),
+            "suspension is not termination: the flight phase is untouched"
+        );
+        assert_eq!(vdc.drain_events("vd1"), vec![VdcEvent::TenantSuspended]);
+
+        vdc.on_tenant_resumed("vd1");
+        assert!(vdc.allows("vd1", DeviceClass::Gps));
+        assert_eq!(
+            vdc.drain_events("vd1"),
+            vec![VdcEvent::ResumeContinuousDevices]
+        );
     }
 
     #[test]

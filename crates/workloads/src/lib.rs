@@ -9,11 +9,16 @@
 //!   the flight controller runs (Figure 11).
 //! - [`stress`]: the `stress` generator and iperf (worst-case load
 //!   scenarios, network throughput).
+//! - [`attacks`]: deterministic adversarial-tenant attack plans
+//!   (Binder floods, parcel bombs, telemetry storms, CPU saturation,
+//!   fd exhaustion) mirroring `simkern::faults`.
 
+pub mod attacks;
 pub mod cyclictest;
 pub mod passmark;
 pub mod stress;
 
+pub use attacks::{AttackClock, AttackEvent, AttackKind, AttackPlan, AttackTransition};
 pub use cyclictest::{run as run_cyclictest, CyclictestResult, ARDUPILOT_DEADLINE_US};
 pub use passmark::{run_concurrent, stock_baseline, PassmarkScores, CONTAINER_OVERHEAD};
 pub use stress::{start_stress, Iperf, StressConfig, StressHandle};

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Adversarial-tenant gate.
+#
+# Runs the DoS attack suite (tests/adversarial.rs) in release:
+# seed-generated attack plans — Binder floods, parcel bombs,
+# telemetry storms, CPU saturation, fd exhaustion — driven against
+# full fleet runs, holding the five gate invariants: the 400 Hz fast
+# loop never misses its 2500 µs deadline with enforcement on, a
+# pinned plan with enforcement off demonstrably breaches it,
+# dual-run and thread-matrix digests are bit-identical, every tenant
+# reaches a terminal ledger-consistent outcome, and an empty attack
+# plan is provably zero-work. The cyclictest contrast (throttled vs
+# unenforced interference profiles) rides the same suite.
+#
+# The test log is written to target/attack-report/ for CI to upload.
+#
+# Usage: scripts/attack.sh [seeds] [--threads "1 4 8"]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=4
+THREADS="1 4 8"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --threads) THREADS="$2"; shift 2 ;;
+        *) SEEDS="$1"; shift ;;
+    esac
+done
+
+mkdir -p target/attack-report
+echo "== adversarial gate (${SEEDS} generated attack plans, dual-run, threads matrix: ${THREADS}) =="
+ATTACK_SEEDS="${SEEDS}" ATTACK_THREADS="${THREADS}" \
+    cargo test --release -p androne --test adversarial -- --nocapture \
+    | tee target/attack-report/adversarial.log
