@@ -21,9 +21,9 @@ pub mod parcel;
 pub mod service_manager;
 
 pub use driver::{
-    scoped_service_name, tenant_label, transaction_cost, BinderDriver, BinderFaultInjection,
-    BinderService, DriverStats, NodeId, ServiceRef, TenantQos, TransactionContext,
-    BINDER_LATENCY_BOUNDS, KERNEL_PID,
+    scoped_service_name, tenant_label, transaction_cost, AggregateQos, BinderDriver,
+    BinderFaultInjection, BinderService, DriverStats, NodeId, ServiceRef, TenantQos,
+    TransactionContext, BINDER_LATENCY_BOUNDS, KERNEL_PID,
 };
 pub use error::BinderError;
 pub use fd::{new_shmem, new_stream, FileDescription, FilePayload, FileRef};

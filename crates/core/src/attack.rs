@@ -27,7 +27,7 @@
 
 use std::collections::BTreeMap;
 
-use androne_binder::TenantQos;
+use androne_binder::{AggregateQos, TenantQos};
 use androne_obs::{Subsystem, TraceEvent};
 use androne_simkern::latency::profiles;
 use androne_simkern::{rt_monitor_stream_rng, ClientId, ContainerId, ResourceKind};
@@ -55,6 +55,20 @@ pub struct AttackDefense {
     pub suspend_after: u64,
     /// Throttle events before the watchdog revokes the tenant.
     pub revoke_after: u64,
+    /// Drone-wide admission cap across *all* budgeted tenants — the
+    /// counter to collusion, where every member stays inside its own
+    /// bucket while the group's aggregate load spikes. `None`
+    /// disables the cap (the pre-hardening posture).
+    pub aggregate: Option<AggregateQos>,
+    /// Ladder hysteresis: after this many consecutive quiet ticks
+    /// (no new throttle events) an escalated attacker steps DOWN one
+    /// rung — `Suspended` is recoverable, not a one-way door. `None`
+    /// disables decay (the pre-hardening posture: rungs are sticky).
+    pub decay_after: Option<u64>,
+    /// Jitter each tenant's token-bucket refill boundary within the
+    /// dedicated refill-jitter RNG stream, so refill-phase probers
+    /// cannot learn a stable quantum to ride.
+    pub refill_jitter: bool,
 }
 
 impl Default for AttackDefense {
@@ -65,6 +79,26 @@ impl Default for AttackDefense {
             halve_after: 256,
             suspend_after: 2_048,
             revoke_after: 16_384,
+            aggregate: None,
+            decay_after: None,
+            refill_jitter: false,
+        }
+    }
+}
+
+impl AttackDefense {
+    /// The hardened posture: everything in [`AttackDefense::default`]
+    /// plus the three adaptive-adversary counters — aggregate
+    /// admission cap, ladder hysteresis decay, and refill-boundary
+    /// jitter. The adaptive gate proves this posture holds the fast
+    /// loop against every closed-loop strategy the default posture
+    /// cannot.
+    pub fn hardened() -> Self {
+        AttackDefense {
+            aggregate: Some(AggregateQos::HARDENED_DEFAULT),
+            decay_after: Some(3),
+            refill_jitter: true,
+            ..AttackDefense::default()
         }
     }
 }
@@ -83,7 +117,7 @@ pub enum LadderRung {
 }
 
 impl LadderRung {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             LadderRung::Budgeted => "budgeted",
             LadderRung::RateHalved => "rate-halved",
@@ -93,6 +127,194 @@ impl LadderRung {
     }
 }
 
+/// One ladder movement [`LadderState::advance`] performed this tick.
+pub(crate) struct LadderStep {
+    pub attacker: String,
+    pub rung: LadderRung,
+    /// `true` = escalation, `false` = hysteresis decay (step-down).
+    pub up: bool,
+    /// Cumulative throttle count at the time of the step.
+    pub throttles: u64,
+}
+
+/// The escalation-ladder walk shared by the open-loop
+/// [`AttackInjector`] and the closed-loop
+/// [`crate::adaptive::AdaptiveInjector`]: per-attacker rung, the
+/// throttle baseline thresholds are measured against, and the
+/// quiet-tick counter the hysteresis decay runs on.
+///
+/// Escalation is measured on throttles *since the last step-down*
+/// (`base`), not the raw cumulative count — otherwise a decayed
+/// attacker would re-escalate instantly off stale history and the
+/// ladder would flip-flop instead of recovering.
+#[derive(Default)]
+pub(crate) struct LadderState {
+    rungs: BTreeMap<String, LadderRung>,
+    /// Throttle count at the previous tick (quiet detection).
+    last: BTreeMap<String, u64>,
+    /// Consecutive quiet ticks per attacker.
+    quiet: BTreeMap<String, u64>,
+    /// Throttle count at the last step-down (escalation baseline).
+    base: BTreeMap<String, u64>,
+}
+
+impl LadderState {
+    /// Marks `attacker` as budgeted (bottom rung) if enforcement has
+    /// not touched it yet.
+    pub fn note_budgeted(&mut self, attacker: &str) {
+        self.rungs
+            .entry(attacker.to_string())
+            .or_insert(LadderRung::Budgeted);
+    }
+
+    pub fn rung(&self, attacker: &str) -> Option<LadderRung> {
+        self.rungs.get(attacker).copied()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, LadderRung)> {
+        self.rungs.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Walks every budgeted attacker one rung at most — up when its
+    /// post-baseline throttle count crosses the next threshold, down
+    /// when `decay_after` consecutive quiet ticks have passed.
+    /// Returns the movements; the caller records them.
+    pub fn advance(
+        &mut self,
+        d: &AttackDefense,
+        attackers: &[String],
+        drone: &mut Drone,
+    ) -> Vec<LadderStep> {
+        let mut steps = Vec::new();
+        for attacker in attackers {
+            let Some(rung) = self.rungs.get(attacker).copied() else {
+                continue;
+            };
+            let Some(container) = drone.vdrones.get(attacker).map(|v| v.container) else {
+                continue;
+            };
+            let throttles = drone.driver.throttle_count(&container);
+            let last = self.last.insert(attacker.clone(), throttles).unwrap_or(0);
+            let active = throttles > last;
+            if active {
+                self.quiet.insert(attacker.clone(), 0);
+            } else {
+                *self.quiet.entry(attacker.clone()).or_insert(0) += 1;
+            }
+            let since_base = throttles - self.base.get(attacker).copied().unwrap_or(0);
+            let escalated = match rung {
+                LadderRung::Budgeted if since_base >= d.halve_after => {
+                    drone.driver.halve_tenant_rate(&container).then_some(LadderRung::RateHalved)
+                }
+                LadderRung::RateHalved if since_base >= d.suspend_after => {
+                    drone.vdc.borrow_mut().on_tenant_suspended(
+                        attacker,
+                        &format!("binder budget tripped {throttles} times"),
+                    );
+                    Some(LadderRung::Suspended)
+                }
+                LadderRung::Suspended if since_base >= d.revoke_after => {
+                    drone.vdc.borrow_mut().on_watchdog_revoked(attacker);
+                    Some(LadderRung::Revoked)
+                }
+                _ => None,
+            };
+            if let Some(next) = escalated {
+                self.rungs.insert(attacker.clone(), next);
+                steps.push(LadderStep {
+                    attacker: attacker.clone(),
+                    rung: next,
+                    up: true,
+                    throttles,
+                });
+                continue;
+            }
+            // Hysteresis: a quiet streak steps the attacker back down
+            // one rung (revocation stays terminal) and re-baselines
+            // the thresholds so only *fresh* violations re-escalate.
+            let Some(decay_after) = d.decay_after else {
+                continue;
+            };
+            if self.quiet.get(attacker).copied().unwrap_or(0) < decay_after {
+                continue;
+            }
+            let next = match rung {
+                LadderRung::Suspended => {
+                    drone.vdc.borrow_mut().on_tenant_resumed(attacker);
+                    LadderRung::RateHalved
+                }
+                LadderRung::RateHalved => {
+                    if !drone.driver.restore_tenant_rate(&container) {
+                        continue;
+                    }
+                    LadderRung::Budgeted
+                }
+                LadderRung::Budgeted | LadderRung::Revoked => continue,
+            };
+            self.rungs.insert(attacker.clone(), next);
+            self.quiet.insert(attacker.clone(), 0);
+            self.base.insert(attacker.clone(), throttles);
+            steps.push(LadderStep {
+                attacker: attacker.clone(),
+                rung: next,
+                up: false,
+                throttles,
+            });
+        }
+        steps
+    }
+}
+
+/// Arms the drone-wide hardening a defense carries — the aggregate
+/// admission cap and the refill-boundary jitter — once per flight.
+/// `seed` keys the jitter stream (the plan seed, so identical plans
+/// see identical jitter).
+pub(crate) fn arm_hardening(drone: &mut Drone, d: &AttackDefense, seed: u64) {
+    if let Some(agg) = d.aggregate {
+        if drone.driver.aggregate_cap().is_none() {
+            drone.driver.set_aggregate_cap(Some(agg));
+        }
+    }
+    if d.refill_jitter && drone.driver.refill_jitter().is_none() {
+        drone.driver.set_refill_jitter(Some(seed));
+    }
+}
+
+/// Histogram bounds for the per-tick Binder throttle trajectory the
+/// black-box recorder tails (satellite of the adaptive-adversary
+/// work: the flight recorder should show *how hard* enforcement was
+/// working in the seconds before an incident).
+pub const THROTTLE_TRAJECTORY_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1_024, 4_096];
+
+/// Histogram bounds (millicores) for the armed CPU-quota trajectory.
+pub const CPU_QUOTA_BOUNDS: &[u64] = &[100, 250, 500, 1_000, 2_000, 4_000];
+
+/// Records the per-tick enforcement trajectory histograms: the delta
+/// of throttle events across `attackers` and the CPU quota (in
+/// millicores) currently clamped on them. Both ride the recorder's
+/// recent-tail mechanism, so the last ~32 ticks are always in the
+/// black box.
+pub(crate) fn observe_enforcement(
+    drone: &Drone,
+    attackers: &[String],
+    prev_throttles: &mut u64,
+    quota_millicores: u64,
+) {
+    let total: u64 = attackers
+        .iter()
+        .filter_map(|a| drone.vdrones.get(a).map(|v| v.container))
+        .map(|c| drone.driver.throttle_count(&c))
+        .sum();
+    let delta = total.saturating_sub(*prev_throttles);
+    *prev_throttles = total;
+    drone
+        .obs
+        .observe("binder.throttle_trajectory", THROTTLE_TRAJECTORY_BOUNDS, delta);
+    drone
+        .obs
+        .observe("cpu.quota_millicores", CPU_QUOTA_BOUNDS, quota_millicores);
+}
+
 /// Applies an attack plan to a drone, one simulated second at a time.
 /// See the module docs for the drive/enforcement model.
 pub struct AttackInjector {
@@ -100,7 +322,10 @@ pub struct AttackInjector {
     defense: Option<AttackDefense>,
     actions: Vec<String>,
     /// Ladder state per attacker name; absent = not yet budgeted.
-    rungs: BTreeMap<String, LadderRung>,
+    ladder: LadderState,
+    /// Total throttle count at the previous tick, for the
+    /// throttle-trajectory tail.
+    prev_throttles: u64,
 }
 
 impl AttackInjector {
@@ -110,7 +335,8 @@ impl AttackInjector {
             clock: AttackClock::new(plan),
             defense,
             actions: Vec::new(),
-            rungs: BTreeMap::new(),
+            ladder: LadderState::default(),
+            prev_throttles: 0,
         }
     }
 
@@ -124,15 +350,16 @@ impl AttackInjector {
         &self.actions
     }
 
-    /// The highest ladder rung `attacker` reached, if enforcement
-    /// engaged it at all.
+    /// The ladder rung `attacker` currently sits on, if enforcement
+    /// engaged it at all. With hysteresis decay armed this can move
+    /// down as well as up.
     pub fn rung(&self, attacker: &str) -> Option<LadderRung> {
-        self.rungs.get(attacker).copied()
+        self.ladder.rung(attacker)
     }
 
     /// Ladder state for every attacker enforcement touched, sorted.
     pub fn rungs(&self) -> impl Iterator<Item = (&str, LadderRung)> {
-        self.rungs.iter().map(|(k, v)| (k.as_str(), *v))
+        self.ladder.iter()
     }
 
     fn container_of(drone: &Drone, attacker: &str) -> Option<ContainerId> {
@@ -167,6 +394,19 @@ impl AttackInjector {
         }
         self.drive_armed(drone);
         self.advance_ladder(tick, drone);
+        let quota_millicores = match self.defense {
+            Some(d) => {
+                let armed_cpu = (0..self.clock.plan().events.len())
+                    .filter(|&i| self.clock.is_armed(i))
+                    .filter_map(|i| self.clock.plan().events.get(i))
+                    .filter(|e| matches!(e.kind, AttackKind::CpuSaturation { .. }))
+                    .count() as u64;
+                armed_cpu * (d.cpu_quota * 1_000.0) as u64
+            }
+            None => 0,
+        };
+        let attackers = self.clock.plan().attackers();
+        observe_enforcement(drone, &attackers, &mut self.prev_throttles, quota_millicores);
     }
 
     fn apply_transition(
@@ -191,10 +431,9 @@ impl AttackInjector {
                 Some(d) => {
                     if drone.driver.tenant_budget(&container).is_none() {
                         drone.driver.set_tenant_budget(container, d.budget);
-                        self.rungs
-                            .entry(attacker.to_string())
-                            .or_insert(LadderRung::Budgeted);
+                        self.ladder.note_budgeted(attacker);
                     }
+                    arm_hardening(drone, &d, self.clock.plan().seed);
                     profiles::attack_throttled(kind.source_name())
                 }
                 None => profiles::attack_unenforced(kind.source_name()),
@@ -270,49 +509,30 @@ impl AttackInjector {
         }
     }
 
-    /// Walks each budgeted attacker up the ladder as its cumulative
-    /// throttle count crosses the configured thresholds. One rung per
-    /// tick at most — graceful degradation, not a cliff.
+    /// Walks each budgeted attacker along the ladder — up as its
+    /// post-baseline throttle count crosses the thresholds, down
+    /// under hysteresis decay. One rung per tick at most — graceful
+    /// degradation (and recovery), not a cliff.
     fn advance_ladder(&mut self, tick: u64, drone: &mut Drone) {
         let Some(d) = self.defense else {
             return;
         };
         let attackers = self.clock.plan().attackers();
-        for attacker in attackers {
-            let Some(rung) = self.rungs.get(&attacker).copied() else {
-                continue;
+        for step in self.ladder.advance(&d, &attackers, drone) {
+            let counter = if step.up {
+                "attack.ladder.steps"
+            } else {
+                "attack.ladder.decays"
             };
-            let Some(container) = Self::container_of(drone, &attacker) else {
-                continue;
-            };
-            let throttles = drone.driver.throttle_count(&container);
-            let next = match rung {
-                LadderRung::Budgeted if throttles >= d.halve_after => {
-                    if !drone.driver.halve_tenant_rate(&container) {
-                        continue;
-                    }
-                    LadderRung::RateHalved
-                }
-                LadderRung::RateHalved if throttles >= d.suspend_after => {
-                    drone.vdc.borrow_mut().on_tenant_suspended(
-                        &attacker,
-                        &format!("binder budget tripped {throttles} times"),
-                    );
-                    LadderRung::Suspended
-                }
-                LadderRung::Suspended if throttles >= d.revoke_after => {
-                    drone.vdc.borrow_mut().on_watchdog_revoked(&attacker);
-                    LadderRung::Revoked
-                }
-                _ => continue,
-            };
-            self.rungs.insert(attacker.clone(), next);
-            drone.obs.count("attack.ladder.steps", 1);
+            drone.obs.count(counter, 1);
+            let arrow = if step.up { "->" } else { "~>" };
             let action = format!(
-                "t={tick} ladder {attacker} -> {} (throttles={throttles})",
-                next.name()
+                "t={tick} ladder {} {arrow} {} (throttles={})",
+                step.attacker,
+                step.rung.name(),
+                step.throttles
             );
-            self.record(drone, "ladder", &attacker, true, action);
+            self.record(drone, "ladder", &step.attacker, step.up, action);
         }
     }
 }

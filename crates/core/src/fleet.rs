@@ -51,8 +51,9 @@ use androne_obs::{MetricsRegistry, ObsHandle, Subsystem, TraceSegment};
 use androne_planner::FlightPlan;
 use androne_simkern::{substream_seed, FaultPlan, FleetFaultPlan, StateHasher};
 use androne_vdc::{VirtualDroneSpec, WatchdogConfig};
-use androne_workloads::AttackPlan;
+use androne_workloads::{AdaptivePlan, AttackPlan};
 
+use crate::adaptive::AdaptiveInjector;
 use crate::attack::{AttackDefense, AttackInjector, RtMonitor};
 use crate::drone::{Drone, DroneError};
 use crate::flight_exec::{execute_flight_probed, EndReason, FlightLog};
@@ -281,6 +282,9 @@ pub struct FleetAttackPlan {
     /// Attack plans keyed by global flight index; missing indices fly
     /// clean.
     pub flights: BTreeMap<usize, AttackPlan>,
+    /// Closed-loop adaptive campaigns keyed by global flight index;
+    /// a flight can carry both an open-loop and an adaptive plan.
+    pub adaptive: BTreeMap<usize, AdaptivePlan>,
     /// Enforcement armed on every attacked flight; `None` runs the
     /// attacks unthrottled (the breach-demonstration posture).
     pub defense: Option<AttackDefense>,
@@ -292,9 +296,11 @@ impl FleetAttackPlan {
         Self::default()
     }
 
-    /// True when no flight carries a non-empty attack plan.
+    /// True when no flight carries a non-empty attack plan, open- or
+    /// closed-loop.
     pub fn is_empty(&self) -> bool {
         self.flights.values().all(|p| p.is_empty())
+            && self.adaptive.values().all(|p| p.is_empty())
     }
 
     /// The plan for `flight_index` (empty when unattacked).
@@ -303,6 +309,14 @@ impl FleetAttackPlan {
             .get(&flight_index)
             .cloned()
             .unwrap_or_else(AttackPlan::empty)
+    }
+
+    /// The adaptive campaign for `flight_index` (empty when none).
+    pub fn effective_adaptive(&self, flight_index: usize) -> AdaptivePlan {
+        self.adaptive
+            .get(&flight_index)
+            .cloned()
+            .unwrap_or_else(AdaptivePlan::empty)
     }
 }
 
@@ -363,7 +377,9 @@ struct PlanWork {
     fault_plan: FaultPlan,
     /// This flight's adversarial workload (empty = unattacked).
     attack_plan: AttackPlan,
-    /// Enforcement posture when the attack plan is non-empty.
+    /// This flight's closed-loop adaptive campaign (empty = none).
+    adaptive_plan: AdaptivePlan,
+    /// Enforcement posture when either attack plan is non-empty.
     defense: Option<AttackDefense>,
     base: GeoPoint,
     max_sim_seconds: f64,
@@ -479,7 +495,9 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
     // the probe stack — and with it every legacy pinned digest — is
     // exactly the pre-attack one.
     let attacked = !item.attack_plan.is_empty();
+    let adaptive = !item.adaptive_plan.is_empty();
     let mut attacker = AttackInjector::new(item.attack_plan, item.defense);
+    let mut adaptive_attacker = AdaptiveInjector::new(item.adaptive_plan, item.defense);
     let mut rt_monitor = RtMonitor::new(item.seed);
     let mut digest = DigestProbe::new();
     let outcome = {
@@ -487,6 +505,11 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
         probes.push(&mut injector);
         if attacked {
             probes.push(&mut attacker);
+        }
+        if adaptive {
+            probes.push(&mut adaptive_attacker);
+        }
+        if attacked || adaptive {
             probes.push(&mut rt_monitor);
         }
         probes.push(&mut digest);
@@ -576,6 +599,7 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
         .unwrap_or_default();
     let mut injected = injector.actions().to_vec();
     injected.extend(attacker.actions().iter().cloned());
+    injected.extend(adaptive_attacker.actions().iter().cloned());
     Ok(IslandVerdict::Flew(Box::new(IslandFlight {
         completed: outcome.completed,
         end_reason: outcome.end_reason,
@@ -583,7 +607,7 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
         total_energy_j: outcome.total_energy_j,
         trace_digest: digest.digest(),
         injected,
-        rt_deadline: attacked.then(|| {
+        rt_deadline: (attacked || adaptive).then(|| {
             (rt_monitor.samples(), rt_monitor.misses(), rt_monitor.max_us())
         }),
         per_owner,
@@ -835,6 +859,7 @@ fn execute_fleet_inner(
                                 seed: flight_seed(cfg.seed, wave, idx),
                                 fault_plan: faults.effective_plan(idx),
                                 attack_plan: attacks.effective_plan(idx),
+                                adaptive_plan: attacks.effective_adaptive(idx),
                                 defense: attacks.defense,
                                 base: cfg.base,
                                 max_sim_seconds: cfg.max_sim_seconds,

@@ -23,6 +23,7 @@
 //! The substrate crates are re-exported under their subsystem names
 //! for downstream use.
 
+pub mod adaptive;
 pub mod androne;
 pub mod attack;
 pub mod drone;
@@ -33,8 +34,12 @@ pub mod pool;
 pub mod probe;
 pub mod sanitizer;
 
+pub use adaptive::AdaptiveInjector;
 pub use androne::Androne;
-pub use attack::{AttackDefense, AttackInjector, LadderRung, RtMonitor, FLIGHT_JITTER_BOUNDS};
+pub use attack::{
+    AttackDefense, AttackInjector, LadderRung, RtMonitor, CPU_QUOTA_BOUNDS,
+    FLIGHT_JITTER_BOUNDS, THROTTLE_TRAJECTORY_BOUNDS,
+};
 pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_IMAGE};
 pub use fleet::{
     execute_fleet, execute_fleet_attacked, FleetAttackPlan, FleetConfig, FleetOutcome,

@@ -215,9 +215,13 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "an RNG constructed outside simkern::rng (`SmallRng::seed_from_u64(seed \
                     + 1)` and friends) collides with the audited stream families and \
                     silently perturbs every digest downstream; all streams must derive \
-                    from substream_seed or the dedicated fault streams",
+                    from substream_seed or the dedicated fault/attack/adversary streams — \
+                    the adversary feedback stream (attacker brains) and the refill-jitter \
+                    stream (defense) funnel through the same home, so closed-loop \
+                    adversaries can never perturb kernel or board draws",
         fix: "call `simkern::rng::stream_rng(substream_seed(root, stream, index))` (or the \
-              fault-stream constructors) instead of SmallRng::seed_from_u64",
+              fault-, attack-, rt-monitor-, adversary- or refill-jitter-stream \
+              constructors) instead of SmallRng::seed_from_u64",
     },
 ];
 
@@ -669,6 +673,13 @@ mod tests {
             vec!["R10"]
         );
         assert_eq!(matches_on("crates/planner/src/vrp.rs", line), vec!["R10"]);
+        // The adversary feedback stream funnels through the same
+        // home: a brain constructing its own RNG in workloads would
+        // be an ad-hoc stream like any other.
+        assert_eq!(
+            matches_on("crates/workloads/src/adaptive.rs", line),
+            vec!["R10"]
+        );
         assert!(matches_on(RNG_HOME, line).is_empty(), "the funnel itself");
         assert!(
             matches_on("crates/sdk/src/x.rs", line).is_empty(),

@@ -143,6 +143,14 @@ impl ObsHandle {
             if let Some(h) = o.metrics.histogram("flight.jitter_us") {
                 snap.jitter_tail = h.recent().collect();
             }
+            // Enforcement-trajectory tails: per-tick throttle deltas
+            // and the armed CPU quota, fed by the attack injectors.
+            if let Some(h) = o.metrics.histogram("binder.throttle_trajectory") {
+                snap.throttle_tail = h.recent().collect();
+            }
+            if let Some(h) = o.metrics.histogram("cpu.quota_millicores") {
+                snap.cpu_quota_tail = h.recent().collect();
+            }
             snap
         })
     }

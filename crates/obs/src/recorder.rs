@@ -44,6 +44,16 @@ pub struct BlackBoxSnapshot {
     /// from the JSON, so recorder output predating the monitor is
     /// byte-identical.
     pub jitter_tail: Vec<u64>,
+    /// The last per-tick `binder.throttle_trajectory` samples before
+    /// the end: how many admissions enforcement rejected each of the
+    /// final ticks. Empty (and absent from the JSON) on flights with
+    /// no adversarial enforcement.
+    pub throttle_tail: Vec<u64>,
+    /// The last per-tick `cpu.quota_millicores` samples: the CPU
+    /// bandwidth cap enforcement held clamped on attackers over the
+    /// final ticks. Empty (and absent from the JSON) without
+    /// adversarial enforcement.
+    pub cpu_quota_tail: Vec<u64>,
 }
 
 /// Takes a snapshot of the last `window_ns` of `bus`. The latency
@@ -73,6 +83,8 @@ pub fn snapshot_window(bus: &TraceBus, window_ns: u64, end_reason: &str) -> Blac
         dropped,
         latency_tail: Vec::new(),
         jitter_tail: Vec::new(),
+        throttle_tail: Vec::new(),
+        cpu_quota_tail: Vec::new(),
     }
 }
 
@@ -222,6 +234,20 @@ impl BlackBoxSnapshot {
             fields.push((
                 "jitter_tail",
                 Value::Array(self.jitter_tail.iter().map(|&v| num(v)).collect()),
+            ));
+        }
+        // Likewise conditional: the enforcement-trajectory tails only
+        // exist on flights where adversarial enforcement ran.
+        if !self.throttle_tail.is_empty() {
+            fields.push((
+                "throttle_tail",
+                Value::Array(self.throttle_tail.iter().map(|&v| num(v)).collect()),
+            ));
+        }
+        if !self.cpu_quota_tail.is_empty() {
+            fields.push((
+                "cpu_quota_tail",
+                Value::Array(self.cpu_quota_tail.iter().map(|&v| num(v)).collect()),
             ));
         }
         object(fields)

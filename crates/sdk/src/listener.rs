@@ -39,6 +39,10 @@ pub trait WaypointListener {
     /// Binder budget kept tripping); continuous devices are paused
     /// but the flight — and billing — continues.
     fn tenant_suspended(&mut self) {}
+
+    /// The ladder suspension was lifted (the tenant went quiet and
+    /// the hysteresis decay stepped it back down).
+    fn tenant_resumed(&mut self) {}
 }
 
 /// A listener that records every callback, for tests and examples.
@@ -86,5 +90,9 @@ impl WaypointListener for RecordingListener {
 
     fn tenant_suspended(&mut self) {
         self.log.push("tenantSuspended()".into());
+    }
+
+    fn tenant_resumed(&mut self) {
+        self.log.push("tenantResumed()".into());
     }
 }

@@ -283,6 +283,38 @@ pub mod profiles {
         }
     }
 
+    /// Interference that scales with the *admitted* adversarial
+    /// Binder load: `admitted_per_tick` transactions actually
+    /// accepted by the driver this simulated second (rejected ones
+    /// never reach the kernel and cost nothing here). This is the
+    /// surface a closed-loop attacker exploits — by riding just
+    /// under its per-tenant budget it keeps the admitted load (and
+    /// this section pressure) high without ever tripping the
+    /// throttle ladder. The parameters are calibrated so that:
+    ///
+    /// - any aggregate admission the hardened defense allows
+    ///   (aggregate burst ≤ 300/tick) truncates below the 2500 µs
+    ///   ArduPilot deadline even compounded with housekeeping, while
+    /// - the synchronized bursts colluding tenants can land under
+    ///   per-tenant-only enforcement (450+ admitted in one tick)
+    ///   stretch the section ceiling past the deadline.
+    pub fn attack_admitted(admitted_per_tick: u64) -> InterferenceSource {
+        let load = admitted_per_tick as f64;
+        InterferenceSource {
+            name: "attack:admitted",
+            preempt: super::SectionParams {
+                utilization: (load / 1_200.0).min(0.5),
+                mean_us: 120.0 + 4.0 * load,
+                max_us: 400.0 + 24.0 * load,
+            },
+            preempt_rt: super::SectionParams {
+                utilization: (load / 1_600.0).min(0.35),
+                mean_us: 30.0 + load,
+                max_us: 60.0 + 6.0 * load,
+            },
+        }
+    }
+
     /// The `stress` generator (4 CPU, 2 I/O, 2 memory, 2 disk
     /// workers) plus iperf, run natively on the host: the paper's
     /// worst-case scenario.

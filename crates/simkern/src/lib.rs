@@ -54,8 +54,8 @@ pub use latency::{InterferenceSource, LatencyModel, Preemption, SectionParams};
 pub use mem::{BoardMemoryProfile, MemOwner, MemoryLedger, MIB};
 pub use net::{BurstLoss, LinkModel, LinkState};
 pub use rng::{
-    attack_stream_rng, fault_stream_rng, fleet_fault_stream_rng, rt_monitor_stream_rng,
-    stream_rng,
+    adversary_stream_rng, attack_stream_rng, fault_stream_rng, fleet_fault_stream_rng,
+    refill_jitter_ns, rt_monitor_stream_rng, stream_rng,
 };
 pub use statehash::{substream_seed, StateHash, StateHasher};
 pub use stats::{LogHistogram, Summary};

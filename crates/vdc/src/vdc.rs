@@ -61,6 +61,9 @@ pub enum VdcEvent {
     /// Binder budget kept tripping); continuous devices are paused
     /// but the flight continues and the tenant still bills.
     TenantSuspended,
+    /// A ladder suspension was lifted by the hysteresis decay (the
+    /// tenant went quiet); continuous devices are resuming.
+    TenantResumed,
 }
 
 /// Fraction of the allotment remaining at which low-budget warnings
@@ -128,6 +131,12 @@ pub struct VdRecord {
     /// escalation ladder) strip the tenant's remaining waypoints
     /// exactly like executor-initiated ones.
     pub revoked: bool,
+    /// Set by [`Vdc::on_tenant_suspended`], cleared by
+    /// [`Vdc::on_tenant_resumed`]: whether the QoS escalation ladder
+    /// currently holds this tenant at `Suspended`. This is the
+    /// tenant-visible ladder signal — the SDK surfaces it, and an
+    /// adaptive adversary reads it as feedback.
+    pub suspended: bool,
 }
 
 impl VdRecord {
@@ -239,6 +248,7 @@ impl Vdc {
     /// via [`Vdc::on_tenant_resumed`].
     pub fn on_tenant_suspended(&mut self, name: &str, detail: &str) {
         if let Some(rec) = self.records.get_mut(name) {
+            rec.suspended = true;
             rec.events.push_back(VdcEvent::TenantSuspended);
             self.access.borrow_mut().suspend_continuous(rec.container);
             self.obs.count("vdc.tenant_suspensions", 1);
@@ -255,7 +265,9 @@ impl Vdc {
     /// subsided); continuous devices resume.
     pub fn on_tenant_resumed(&mut self, name: &str) {
         if let Some(rec) = self.records.get_mut(name) {
+            rec.suspended = false;
             rec.events.push_back(VdcEvent::ResumeContinuousDevices);
+            rec.events.push_back(VdcEvent::TenantResumed);
             self.access.borrow_mut().resume_continuous(rec.container);
             self.obs.emit(Subsystem::Vdc, || TraceEvent::VdcDecision {
                 vdrone: name.to_string(),
@@ -322,6 +334,7 @@ impl Vdc {
                 marked_files: Vec::new(),
                 waypoint_done: false,
                 revoked: false,
+                suspended: false,
             },
         );
     }
@@ -590,6 +603,7 @@ impl StateHash for VdcEvent {
             VdcEvent::ResumeContinuousDevices => h.write_u8(6),
             VdcEvent::WatchdogRevoked => h.write_u8(7),
             VdcEvent::TenantSuspended => h.write_u8(8),
+            VdcEvent::TenantResumed => h.write_u8(9),
         }
     }
 }
@@ -620,6 +634,11 @@ impl StateHash for VdRecord {
         // revocation flag fold to their historical bits.
         if self.revoked {
             h.write_bool(self.revoked);
+        }
+        // Same discipline: only an actually-suspended tenant widens
+        // the record's hash footprint.
+        if self.suspended {
+            h.write_bool(self.suspended);
         }
     }
 }
@@ -811,6 +830,7 @@ mod tests {
 
         vdc.on_tenant_suspended("vd1", "binder budget tripped 8 times");
         assert!(!vdc.allows("vd1", DeviceClass::Gps));
+        assert!(vdc.record("vd1").unwrap().suspended);
         assert_eq!(
             vdc.access().borrow().phase(c),
             Some(FlightPhase::Transit),
@@ -820,9 +840,10 @@ mod tests {
 
         vdc.on_tenant_resumed("vd1");
         assert!(vdc.allows("vd1", DeviceClass::Gps));
+        assert!(!vdc.record("vd1").unwrap().suspended);
         assert_eq!(
             vdc.drain_events("vd1"),
-            vec![VdcEvent::ResumeContinuousDevices]
+            vec![VdcEvent::ResumeContinuousDevices, VdcEvent::TenantResumed]
         );
     }
 

@@ -12,12 +12,20 @@
 //! - [`attacks`]: deterministic adversarial-tenant attack plans
 //!   (Binder floods, parcel bombs, telemetry storms, CPU saturation,
 //!   fd exhaustion) mirroring `simkern::faults`.
+//! - [`adaptive`]: closed-loop adversaries — attacker brains that
+//!   re-plan each tick from their own admission feedback (refill
+//!   probing, rung-edge riding, collusion).
 
+pub mod adaptive;
 pub mod attacks;
 pub mod cyclictest;
 pub mod passmark;
 pub mod stress;
 
+pub use adaptive::{
+    AdaptiveAttacker, AdaptivePlan, AdaptiveStrategy, AttackerBrain, AttackerCommand,
+    AttackerObservation, ADAPTIVE_WIRE_SIZE,
+};
 pub use attacks::{AttackClock, AttackEvent, AttackKind, AttackPlan, AttackTransition};
 pub use cyclictest::{run as run_cyclictest, CyclictestResult, ARDUPILOT_DEADLINE_US};
 pub use passmark::{run_concurrent, stock_baseline, PassmarkScores, CONTAINER_OVERHEAD};

@@ -14,7 +14,7 @@ use androne::hal::GeoPoint;
 use androne::obs::metrics_to_json;
 use androne::planner::{FlightPlan, Leg};
 use androne::vdc::{VirtualDroneSpec, WaypointSpec};
-use androne::workloads::{AttackKind, AttackPlan, ARDUPILOT_DEADLINE_US};
+use androne::workloads::{AttackEvent, AttackKind, AttackPlan, ARDUPILOT_DEADLINE_US};
 use androne::{
     execute_flight_probed, AttackDefense, AttackInjector, Drone, EndReason, ProbeStack, RtMonitor,
 };
@@ -64,9 +64,16 @@ fn main() {
     let container = drone.vdrones["vd1"].container;
 
     // vd1 floods Binder with 600 transactions per simulated second
-    // from t=2 to t=40; the default defense arms its token-bucket
-    // budget (120/s, burst 240) at attack time.
-    let attack = AttackPlan::single(AttackKind::BinderFlood { per_tick: 600 }, "vd1", 2, 40);
+    // from t=2 to t=40 and saturates the shared CPU from t=4; the
+    // default defense arms its token-bucket budget (120/s, burst
+    // 240) and clamps the CPU quota at attack time.
+    let mut attack = AttackPlan::single(AttackKind::BinderFlood { per_tick: 600 }, "vd1", 2, 40);
+    attack.events.push(AttackEvent {
+        kind: AttackKind::CpuSaturation { demand: 3.0 },
+        attacker: "vd1".into(),
+        arm_tick: 4,
+        disarm_tick: 40,
+    });
     let mut attacker = AttackInjector::new(attack, Some(AttackDefense::default()));
     let mut monitor = RtMonitor::new(SEED);
     let outcome = {
@@ -118,10 +125,25 @@ fn main() {
         .count();
     assert!(throttle_edges > 0, "throttle edges reached the black box");
     assert!(!snapshot.jitter_tail.is_empty(), "the monitor fed the jitter tail");
+    // The enforcement-trajectory tails ride the same recent-tail
+    // mechanism: per-tick throttle deltas and the armed CPU quota.
+    assert!(
+        !snapshot.throttle_tail.is_empty(),
+        "enforcement fed the throttle trajectory tail"
+    );
+    assert!(
+        !snapshot.cpu_quota_tail.is_empty(),
+        "the CPU-quota clamp fed its tail"
+    );
     println!(
         "black box        : {} records, {throttle_edges} binder_throttle edges, jitter tail {} samples",
         snapshot.records.len(),
         snapshot.jitter_tail.len()
+    );
+    println!(
+        "enforcement tails: throttle trajectory {} ticks, cpu quota {} ticks",
+        snapshot.throttle_tail.len(),
+        snapshot.cpu_quota_tail.len()
     );
 
     let metrics = drone

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Adversarial-tenant gate.
 #
-# Runs the DoS attack suite (tests/adversarial.rs) in release:
-# seed-generated attack plans — Binder floods, parcel bombs,
+# Default mode runs the DoS attack suite (tests/adversarial.rs) in
+# release: seed-generated attack plans — Binder floods, parcel bombs,
 # telemetry storms, CPU saturation, fd exhaustion — driven against
 # full fleet runs, holding the five gate invariants: the 400 Hz fast
 # loop never misses its 2500 µs deadline with enforcement on, a
@@ -12,24 +12,40 @@
 # plan is provably zero-work. The cyclictest contrast (throttled vs
 # unenforced interference profiles) rides the same suite.
 #
+# --adaptive instead runs the closed-loop gate (tests/adaptive.rs):
+# attacker brains that re-plan each tick from their own admission
+# feedback (refill probing, rung-edge riding, collusion), proving the
+# hardened posture (aggregate admission cap + ladder hysteresis +
+# refill jitter) holds the fast loop where per-tenant-only defense
+# demonstrably does not (the pinned synchronized-collusion breach).
+#
 # The test log is written to target/attack-report/ for CI to upload.
 #
-# Usage: scripts/attack.sh [seeds] [--threads "1 4 8"]
+# Usage: scripts/attack.sh [seeds] [--threads "1 4 8"] [--adaptive]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEEDS=4
 THREADS="1 4 8"
+MODE=open-loop
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --threads) THREADS="$2"; shift 2 ;;
+        --adaptive) MODE=adaptive; shift ;;
         *) SEEDS="$1"; shift ;;
     esac
 done
 
 mkdir -p target/attack-report
-echo "== adversarial gate (${SEEDS} generated attack plans, dual-run, threads matrix: ${THREADS}) =="
-ATTACK_SEEDS="${SEEDS}" ATTACK_THREADS="${THREADS}" \
-    cargo test --release -p androne --test adversarial -- --nocapture \
-    | tee target/attack-report/adversarial.log
+if [[ "$MODE" == adaptive ]]; then
+    echo "== adaptive adversary gate (${SEEDS} generated campaigns, dual-run, threads matrix: ${THREADS}) =="
+    ADAPTIVE_SEEDS="${SEEDS}" ADAPTIVE_THREADS="${THREADS}" \
+        cargo test --release -p androne --test adaptive -- --nocapture \
+        | tee target/attack-report/adaptive.log
+else
+    echo "== adversarial gate (${SEEDS} generated attack plans, dual-run, threads matrix: ${THREADS}) =="
+    ATTACK_SEEDS="${SEEDS}" ATTACK_THREADS="${THREADS}" \
+        cargo test --release -p androne --test adversarial -- --nocapture \
+        | tee target/attack-report/adversarial.log
+fi

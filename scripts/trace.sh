@@ -6,8 +6,11 @@
 # inside — and greps the combined JSON dump for the contract keys
 # offline tooling relies on: the black box (end reason, windowed
 # records), the metrics registry (counters/gauges/histograms), and
-# the FNV digest. Exits nonzero if the example fails its internal
-# determinism asserts or the JSON loses a key.
+# the FNV digest. Then runs the adversarial_tenant example and checks
+# the enforcement-side contract keys: the RT-deadline jitter tail and
+# the enforcement-trajectory tails (per-tick throttle deltas, armed
+# CPU quota) that ride the same recent-tail mechanism. Exits nonzero
+# if an example fails its internal asserts or the JSON loses a key.
 #
 # Usage: scripts/trace.sh
 
@@ -23,6 +26,18 @@ for key in black_box end_reason LinkLost records link_failsafe \
            latency_tail; do
     if ! grep -qF "$key" <<<"$OUT"; then
         echo "FAIL: key '$key' missing from blackbox_recorder output" >&2
+        exit 1
+    fi
+done
+
+echo "== trace gate (adversarial tenant enforcement tails) =="
+ADV="$(cargo run -q --release --example adversarial_tenant)"
+
+for key in binder_throttle jitter_tail throttle_tail cpu_quota_tail \
+           binder.throttle_trajectory cpu.quota_millicores \
+           flight.jitter_us attack.transitions; do
+    if ! grep -qF "$key" <<<"$ADV"; then
+        echo "FAIL: key '$key' missing from adversarial_tenant output" >&2
         exit 1
     fi
 done

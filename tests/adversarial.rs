@@ -149,6 +149,7 @@ fn attacked_fleet_holds_deadline_and_determinism() {
         let attacks = FleetAttackPlan {
             flights,
             defense: Some(AttackDefense::default()),
+            ..FleetAttackPlan::none()
         };
         let label = format!("attack seed {seed:#x} ({} tenants)", cfg.tenants.len());
 
@@ -245,6 +246,7 @@ fn unenforced_flood_breaches_the_fast_loop_and_defense_restores_it() {
     let unenforced = FleetAttackPlan {
         flights: flights.clone(),
         defense: None,
+        ..FleetAttackPlan::none()
     };
     let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &unenforced).expect("run");
     let (samples, misses, max_us) = run.flights[0]
@@ -264,6 +266,7 @@ fn unenforced_flood_breaches_the_fast_loop_and_defense_restores_it() {
     let defended = FleetAttackPlan {
         flights,
         defense: Some(AttackDefense::default()),
+        ..FleetAttackPlan::none()
     };
     let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &defended).expect("run");
     let (samples, misses, max_us) = run.flights[0].rt_deadline.expect("monitor rode the flight");
@@ -348,6 +351,7 @@ fn escalation_ladder_walks_to_revocation_and_still_resolves() {
             revoke_after: 2_000,
             ..AttackDefense::default()
         }),
+        ..FleetAttackPlan::none()
     };
     let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run");
     let f = &run.flights[0];
@@ -392,10 +396,90 @@ fn empty_attack_plan_is_zero_work() {
     let armed_but_empty = FleetAttackPlan {
         flights,
         defense: Some(AttackDefense::default()),
+        ..FleetAttackPlan::none()
     };
     assert!(armed_but_empty.is_empty());
     let run = execute_fleet_attacked(&cfg, &faults, &armed_but_empty).expect("run");
     assert_eq!(legacy.fleet_digest(), run.fleet_digest());
     assert_eq!(legacy.metrics_digest(), run.metrics_digest());
     assert!(run.flights.iter().all(|f| f.rt_deadline.is_none()));
+}
+
+/// Ladder hysteresis: "Suspended is recoverable" made real. A flood
+/// pushes the tenant up to `Suspended` against tight thresholds,
+/// then stops; with `decay_after` armed, consecutive quiet ticks
+/// step the tenant back down (suspension lifted, then the halved
+/// rate restored) and the mission still finishes `Completed` — not
+/// `Refunded` — with identical digests at threads 1/4/8.
+#[test]
+fn suspended_tenant_recovers_and_completes_after_going_quiet() {
+    let run_at = |threads: usize| {
+        let cfg = FleetConfig {
+            base: BASE,
+            seed: 0x5E1F_CA2E,
+            fleet_size: 1,
+            tenants: fleet_tenants(1),
+            max_waves: 6,
+            max_sim_seconds: MAX_SIM_S,
+            watchdog: None,
+            threads,
+        };
+        let mut flights = BTreeMap::new();
+        flights.insert(
+            0usize,
+            AttackPlan::single(AttackKind::BinderFlood { per_tick: 800 }, "vd1", 2, 12),
+        );
+        let attacks = FleetAttackPlan {
+            flights,
+            defense: Some(AttackDefense {
+                halve_after: 8,
+                suspend_after: 600,
+                revoke_after: 1_000_000,
+                decay_after: Some(3),
+                ..AttackDefense::default()
+            }),
+            ..FleetAttackPlan::none()
+        };
+        execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run")
+    };
+    let run = run_at(1);
+    let f = &run.flights[0];
+    let ladder: Vec<&String> = f.injected.iter().filter(|l| l.contains("ladder")).collect();
+    // Up while the flood runs...
+    assert!(
+        ladder.iter().any(|l| l.contains("-> suspended")),
+        "the flood never reached suspension: {ladder:?}"
+    );
+    // ...and back down after it goes quiet: suspension lifted, then
+    // the halved rate restored.
+    assert!(
+        ladder.iter().any(|l| l.contains("~> rate-halved")),
+        "hysteresis never lifted the suspension: {ladder:?}"
+    );
+    assert!(
+        ladder.iter().any(|l| l.contains("~> budgeted")),
+        "hysteresis never restored the rate: {ladder:?}"
+    );
+    let t = &run.tenants["vd1"];
+    assert_eq!(
+        t.resolution,
+        TenantResolution::Completed,
+        "the recovered tenant must complete, not refund: {t:?}"
+    );
+    let (_, misses, max_us) = f.rt_deadline.expect("monitor rode the flight");
+    assert_eq!(misses, 0, "enforced throughout recovery (max {max_us:.1} µs)");
+    assert_terminal_outcomes(&run, "recovery");
+    for threads in [4usize, 8] {
+        let other = run_at(threads);
+        assert_eq!(
+            run.fleet_digest(),
+            other.fleet_digest(),
+            "threads {threads}: fleet digest diverged"
+        );
+        assert_eq!(
+            run.metrics_digest(),
+            other.metrics_digest(),
+            "threads {threads}: metrics digest diverged"
+        );
+    }
 }
