@@ -19,9 +19,9 @@
 
 use std::collections::BTreeMap;
 
-use androne::fleet::{execute_fleet, FleetConfig, FleetTenant, FleetOutcome};
+use androne::fleet::{FleetConfig, FleetOutcome, FleetSpec, FleetTenant};
 use androne::hal::GeoPoint;
-use androne::simkern::FleetFaultPlan;
+use androne::{execute_scale_fleet, ScaleConfig, ScaleOutcome};
 use androne::vdc::{VirtualDroneSpec, WaypointSpec};
 use criterion::{black_box, Criterion};
 use serde_json::Value;
@@ -80,7 +80,7 @@ fn config(threads: usize) -> FleetConfig {
 }
 
 fn run(threads: usize) -> FleetOutcome {
-    execute_fleet(&config(threads), &FleetFaultPlan::empty()).expect("fleet run")
+    FleetSpec::new(config(threads)).run().expect("fleet run")
 }
 
 /// Per-tenant order→landing latency in simulated seconds. Waves run
@@ -114,6 +114,43 @@ fn p99(sorted: &[f64]) -> f64 {
     }
     let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
     sorted[idx.min(sorted.len()) - 1]
+}
+
+/// One rung of the scaling ladder: `tenants` synthetic orders pushed
+/// through the sharded control plane (batched admission, VDR,
+/// bin-packed waves) to quiescence, timed wall-clock.
+fn ladder_rung(tenants: usize, threads: usize) -> (ScaleOutcome, f64) {
+    let t0 = std::time::Instant::now();
+    let out = execute_scale_fleet(&ScaleConfig::rung(tenants).threads(threads));
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(out.quiescent, "{tenants}-tenant rung did not reach quiescence");
+    assert_eq!(
+        out.completed() + out.exhausted(),
+        tenants,
+        "{tenants}-tenant rung left tenants unresolved"
+    );
+    (out, wall_s)
+}
+
+fn rung_report(tenants: usize, out: &ScaleOutcome, wall_s: f64) -> Value {
+    obj([
+        ("tenants", Value::Number(tenants as f64)),
+        ("wall_s", Value::Number(wall_s)),
+        ("orders_per_wall_sec", Value::Number(tenants as f64 / wall_s)),
+        ("orders_per_sim_sec", Value::Number(out.orders_per_sim_s())),
+        (
+            "p99_order_to_landing_sim_s",
+            Value::Number(out.p99_latency_s),
+        ),
+        ("peak_queue_depth", Value::Number(out.peak_queue_depth as f64)),
+        (
+            "backpressured_submissions",
+            Value::Number(out.backpressured_submissions as f64),
+        ),
+        ("waves", Value::Number(out.waves_run as f64)),
+        ("completed", Value::Number(out.completed() as f64)),
+        ("exhausted", Value::Number(out.exhausted() as f64)),
+    ])
 }
 
 fn obj(entries: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
@@ -181,12 +218,40 @@ fn main() {
     } else {
         0.75
     };
-    let pass = speedup >= floor_active;
+    let pool_pass = speedup >= floor_active;
+
+    // The scaling ladder: 1k / 10k / 100k tenants through the
+    // sharded control plane, each timed wall-clock to quiescence.
+    // The 10k rung is additionally run across the shard/thread
+    // matrix and must be bit-identical at every point, and its
+    // wall-clock order throughput carries an absolute floor —
+    // comfortably below a 1-core release run so the gate binds on
+    // regressions, not host speed.
+    const ORDERS_PER_SEC_FLOOR_10K: f64 = 10_000.0;
+    let ladder_threads = host_cores.min(4);
+    let (rung_1k, wall_1k) = ladder_rung(1_000, ladder_threads);
+    let (rung_10k, wall_10k) = ladder_rung(10_000, ladder_threads);
+    let (rung_100k, wall_100k) = ladder_rung(100_000, ladder_threads);
+
+    let reference = execute_scale_fleet(&ScaleConfig::rung(10_000));
+    let mut ladder_identical = true;
+    for (threads, shards) in [(4usize, 1usize), (1, 4), (4, 4)] {
+        let run = execute_scale_fleet(&ScaleConfig::rung(10_000).threads(threads).shards(shards));
+        if run.fleet_digest() != reference.fleet_digest()
+            || run.metrics_digest() != reference.metrics_digest()
+        {
+            ladder_identical = false;
+            eprintln!("ladder digest divergence at threads={threads} shards={shards}");
+        }
+    }
+    let orders_per_wall_10k = 10_000.0 / wall_10k;
+    let ladder_pass = ladder_identical && orders_per_wall_10k >= ORDERS_PER_SEC_FLOOR_10K;
+    let pass = pool_pass && ladder_pass;
 
     let report = obj([
         (
             "schema",
-            Value::String("androne-bench/fleet_throughput/v1".to_string()),
+            Value::String("androne-bench/fleet_throughput/v2".to_string()),
         ),
         (
             "command",
@@ -213,6 +278,15 @@ fn main() {
             ]),
         ),
         (
+            "scaling_ladder",
+            obj([
+                ("ladder_threads", Value::Number(ladder_threads as f64)),
+                ("rung_1k", rung_report(1_000, &rung_1k, wall_1k)),
+                ("rung_10k", rung_report(10_000, &rung_10k, wall_10k)),
+                ("rung_100k", rung_report(100_000, &rung_100k, wall_100k)),
+            ]),
+        ),
+        (
             "acceptance",
             obj([
                 ("host_cores", Value::Number(host_cores as f64)),
@@ -220,6 +294,18 @@ fn main() {
                 ("speedup_4v1_floor_full", Value::Number(floor_full)),
                 ("speedup_4v1_floor_active", Value::Number(floor_active)),
                 ("digests_identical", Value::Bool(true)),
+                (
+                    "ladder_10k_digests_identical_shards14_threads14",
+                    Value::Bool(ladder_identical),
+                ),
+                (
+                    "ladder_10k_orders_per_sec_measured",
+                    Value::Number(orders_per_wall_10k),
+                ),
+                (
+                    "ladder_10k_orders_per_sec_floor",
+                    Value::Number(ORDERS_PER_SEC_FLOOR_10K),
+                ),
                 ("pass", Value::Bool(pass)),
             ]),
         ),
@@ -234,9 +320,22 @@ fn main() {
         "\nfleet speedup 4v1: {speedup:.2}x (floor {floor_active:.2}x on {host_cores} cores; full gate {floor_full:.2}x), \
          {orders_per_sec:.1} orders/s, p99 order->landing {p99_sim_s:.1} sim-s"
     );
+    println!(
+        "scaling ladder ({ladder_threads} threads): \
+         1k {:.0} orders/s | 10k {:.0} orders/s (floor {ORDERS_PER_SEC_FLOOR_10K:.0}) | 100k {:.0} orders/s; \
+         10k digest matrix identical: {ladder_identical}",
+        1_000.0 / wall_1k,
+        orders_per_wall_10k,
+        100_000.0 / wall_100k,
+    );
     println!("report written to {out_path}");
     assert!(
-        pass,
+        pool_pass,
         "fleet throughput gate failed: {speedup:.2}x < {floor_active:.2}x floor"
+    );
+    assert!(
+        ladder_pass,
+        "scaling ladder gate failed: 10k rung {orders_per_wall_10k:.0} orders/s \
+         (floor {ORDERS_PER_SEC_FLOOR_10K:.0}) or digest matrix diverged"
     );
 }

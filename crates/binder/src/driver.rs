@@ -991,6 +991,17 @@ impl BinderDriver {
         to: Pid,
         slab: &mut Option<Vec<u32>>,
     ) -> Result<(), BinderError> {
+        if !parcel.has_fds() {
+            // Handle-only fast path (the common case for service
+            // fanout): no fd-slab checkout, no restore bookkeeping —
+            // just the handle rewrites against the cache slab.
+            for v in parcel.values_mut() {
+                if let PValue::Binder(h) = v {
+                    *h = self.translate_handle(from, to, *h, slab)?;
+                }
+            }
+            return Ok(());
+        }
         // fd tables are checked out of the proc map lazily on the
         // first fd in the parcel (mirroring the handle-cache slab
         // checkout above): every subsequent fd is a local Vec

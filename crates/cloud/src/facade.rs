@@ -24,10 +24,11 @@
 use androne_hal::GeoPoint;
 use androne_obs::{ObsHandle, Subsystem, TraceEvent};
 use androne_planner::FlightPlan;
-use androne_sdk::{retry_with_backoff, RetryFailure, RetryPolicy};
+use androne_sdk::{retry_with_backoff, Backpressure, RetryFailure, RetryPolicy};
 use androne_simkern::{CloudFaultKind, SimDuration};
 
-use crate::portal::PlacedOrder;
+use crate::admission::{AdmissionConfig, AdmissionError, AdmissionQueue};
+use crate::portal::{OrderError, OrderRequest, PlacedOrder};
 use crate::service::{CloudService, NotificationKind};
 use crate::vdr::SavedVirtualDrone;
 
@@ -59,6 +60,54 @@ impl std::fmt::Display for CloudError {
 
 impl std::error::Error for CloudError {}
 
+/// A non-blocking order submission rejection: either the portal said
+/// no (bad order) or the admission queue is full (try again at the
+/// advertised wave).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderSubmitError {
+    /// The portal rejected the order itself.
+    Order(OrderError),
+    /// The order is valid but the admission queue is at capacity. The
+    /// already-validated order rides back so the retry (via
+    /// [`FallibleCloud::resubmit`]) skips portal revalidation.
+    Backpressure {
+        err: AdmissionError,
+        order: Box<PlacedOrder>,
+    },
+}
+
+impl std::fmt::Display for OrderSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderSubmitError::Order(e) => write!(f, "{e}"),
+            OrderSubmitError::Backpressure { err, .. } => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for OrderSubmitError {}
+
+impl Backpressure for OrderSubmitError {
+    fn retry_wave(&self) -> Option<u64> {
+        match self {
+            OrderSubmitError::Order(_) => None,
+            OrderSubmitError::Backpressure { err, .. } => err.retry_wave(),
+        }
+    }
+}
+
+/// The receipt of a successfully enqueued order: not planned yet,
+/// just admitted into its tenant's FIFO lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionTicket {
+    pub order_id: u64,
+    pub vd_name: String,
+    /// Global admission sequence number (FIFO position evidence).
+    pub seq: u64,
+    /// Queue depth right after this order was enqueued.
+    pub queue_depth: usize,
+}
+
 /// An offload held back by a storage outage, awaiting heal.
 #[derive(Debug, Clone)]
 pub struct BufferedOffload {
@@ -76,8 +125,13 @@ pub struct FallibleCloud {
     armed: Vec<CloudFaultKind>,
     /// Retry policy for storage writes (deterministic backoff).
     retry: RetryPolicy,
-    /// Orders queued while the portal/planner was unavailable.
-    queued: Vec<PlacedOrder>,
+    /// The admission queue: orders submitted via [`Self::place_order`]
+    /// and orders displaced by a portal/planner outage, in per-tenant
+    /// FIFO lanes. The default config is unlimited/drain-all, which
+    /// reproduces the legacy single-`Vec` outage queue byte for byte.
+    admission: AdmissionQueue<PlacedOrder>,
+    /// The wave most recently begun (for backpressure retry math).
+    wave: u64,
     /// Offloads awaiting a storage heal.
     buffered: Vec<BufferedOffload>,
     /// Total simulated backoff spent in retries (bookkeeping only).
@@ -101,12 +155,35 @@ impl FallibleCloud {
             inner,
             armed: Vec::new(),
             retry: RetryPolicy::default(),
-            queued: Vec::new(),
+            admission: AdmissionQueue::new(AdmissionConfig::unlimited()),
+            wave: 0,
             buffered: Vec::new(),
             backoff_spent: SimDuration::from_nanos(0),
             log: Vec::new(),
             obs: ObsHandle::default(),
         }
+    }
+
+    /// Wraps a fresh service with a VDR sharded `shards` ways.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::from_service(CloudService::with_shards(shards))
+    }
+
+    /// Replaces the admission config. Queued orders keep their lanes
+    /// and sequence numbers; only the quota/capacity change.
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        let old = std::mem::replace(&mut self.admission, AdmissionQueue::new(cfg));
+        for (lane, _seq, item) in old.iter_pending() {
+            // Re-inserting in global sequence order preserves both
+            // lane FIFO order and the cross-lane drain order; the
+            // backlog is never dropped, even below the new capacity.
+            self.admission.enqueue_unbounded(lane, item.clone());
+        }
+    }
+
+    /// The admission queue (metrics, tests).
+    pub fn admission(&self) -> &AdmissionQueue<PlacedOrder> {
+        &self.admission
     }
 
     /// Attaches the shared observability handle; degraded-mode
@@ -120,6 +197,7 @@ impl FallibleCloud {
     /// reconciled now), a portal/planner heal lets the queued orders
     /// merge into this wave's planning round.
     pub fn begin_wave(&mut self, wave: u64, faults: Vec<CloudFaultKind>) {
+        self.wave = wave;
         self.armed = faults;
         if !self.armed.is_empty() {
             self.log.push(format!("wave {wave}: armed {:?}", self.armed));
@@ -166,9 +244,62 @@ impl FallibleCloud {
         })
     }
 
-    /// Orders currently queued behind an outage.
-    pub fn queued_orders(&self) -> &[PlacedOrder] {
-        &self.queued
+    /// Orders currently queued (behind an outage or awaiting batched
+    /// admission), in global sequence order.
+    pub fn queued_orders(&self) -> Vec<&PlacedOrder> {
+        self.admission
+            .iter_pending()
+            .into_iter()
+            .map(|(_, _, o)| o)
+            .collect()
+    }
+
+    /// Validates and enqueues an order without planning it: the
+    /// non-blocking front door of the control plane. The order joins
+    /// its virtual drone's FIFO lane and is planned when the batch
+    /// admitter releases it into a wave. At capacity the caller gets
+    /// [`OrderSubmitError::Backpressure`] with the earliest retry
+    /// wave instead of an unbounded queue.
+    pub fn place_order(&mut self, req: OrderRequest) -> Result<AdmissionTicket, OrderSubmitError> {
+        let inner = &mut self.inner;
+        let placed = inner
+            .portal
+            .place_order(&inner.app_store, req)
+            .map_err(OrderSubmitError::Order)?;
+        self.resubmit(placed)
+    }
+
+    /// Re-enqueues an order that already cleared portal validation —
+    /// the retry path after [`OrderSubmitError::Backpressure`], where
+    /// re-validating would only re-prove what the first submission
+    /// proved.
+    pub fn resubmit(&mut self, placed: PlacedOrder) -> Result<AdmissionTicket, OrderSubmitError> {
+        let (order_id, vd_name) = (placed.order_id, placed.vd_name.clone());
+        match self.admission.enqueue(&vd_name, placed, self.wave) {
+            Ok(seq) => {
+                self.obs.count("cloud.orders_enqueued", 1);
+                Ok(AdmissionTicket {
+                    order_id,
+                    vd_name,
+                    seq,
+                    queue_depth: self.admission.pending(),
+                })
+            }
+            Err((err, order)) => {
+                self.obs.count("cloud.orders_backpressured", 1);
+                Err(OrderSubmitError::Backpressure {
+                    err,
+                    order: Box::new(order),
+                })
+            }
+        }
+    }
+
+    /// Releases this wave's admitted batch of queued orders, in the
+    /// admitter's deterministic order (sequence order when unlimited,
+    /// round-robin across tenant lanes when batched).
+    pub fn admit_orders(&mut self) -> Vec<PlacedOrder> {
+        self.admission.admit().into_iter().map(|a| a.item).collect()
     }
 
     /// Offloads currently buffered behind a storage outage.
@@ -194,20 +325,24 @@ impl FallibleCloud {
                 CloudError::PlannerRejected
             };
             for o in orders {
-                if !self.queued.iter().any(|q| q.vd_name == o.vd_name) {
-                    self.queued.push(o.clone());
+                // One lane per virtual drone: a lane that already
+                // holds this name's order keeps it (same dedup the
+                // legacy Vec queue applied on enqueue).
+                if self.admission.lane_pending(&o.vd_name) == 0 {
+                    self.admission.enqueue_unbounded(&o.vd_name, o.clone());
                 }
             }
-            self.log.push(format!("{err}: {} orders queued", self.queued.len()));
+            let depth = self.admission.pending();
+            self.log.push(format!("{err}: {depth} orders queued"));
             self.obs.count("cloud.orders_queued", orders.len() as u64);
             self.obs.emit(Subsystem::Cloud, || TraceEvent::CloudDegraded {
                 mode: "planning-down",
-                detail: format!("{err}: {} orders queued", self.queued.len()),
+                detail: format!("{err}: {depth} orders queued"),
             });
             return Err(err);
         }
         let mut all: Vec<PlacedOrder> = orders.to_vec();
-        for q in std::mem::take(&mut self.queued) {
+        for q in self.admit_orders() {
             if !all.iter().any(|o| o.vd_name == q.vd_name) {
                 all.push(q);
             }

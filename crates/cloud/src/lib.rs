@@ -5,6 +5,9 @@
 //! - [`portal`]: the ordering workflow — waypoints, drone types, app
 //!   selection with manifest-driven argument prompting, max-charge →
 //!   energy conversion.
+//! - [`admission`]: batched order admission — per-tenant FIFO lanes,
+//!   a deterministic round-robin batch admitter, and typed
+//!   backpressure when the queue is full.
 //! - [`appstore`]: published apps with their AnDrone manifests.
 //! - [`vdr`]: the Virtual Drone Repository storing preconfigured and
 //!   interrupted virtual drones for later flights.
@@ -16,6 +19,7 @@
 //!   failure domain, with typed errors, deterministic retry, and
 //!   degraded modes for fleet-scale chaos runs.
 
+pub mod admission;
 pub mod appstore;
 pub mod facade;
 pub mod portal;
@@ -23,9 +27,15 @@ pub mod service;
 pub mod storage;
 pub mod vdr;
 
+pub use admission::{Admitted, AdmissionConfig, AdmissionError, AdmissionQueue};
 pub use appstore::{AppListing, AppStore};
-pub use facade::{BufferedOffload, CloudError, FallibleCloud};
+pub use facade::{
+    AdmissionTicket, BufferedOffload, CloudError, FallibleCloud, OrderSubmitError,
+};
 pub use portal::{AppSelection, DroneType, OrderError, OrderRequest, PlacedOrder, Portal};
 pub use service::{CloudService, Notification, NotificationKind, MAX_VDRONES_PER_FLIGHT};
 pub use storage::{CloudStorage, StoredFile};
-pub use vdr::{SaveReason, SavedVirtualDrone, VirtualDroneRepository};
+pub use vdr::{
+    CompactionReport, SaveReason, SavedVirtualDrone, ShardSnapshot, VdrStats,
+    VirtualDroneRepository,
+};

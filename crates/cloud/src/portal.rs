@@ -130,7 +130,7 @@ impl std::fmt::Display for OrderError {
 impl std::error::Error for OrderError {}
 
 /// A successfully placed order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacedOrder {
     /// Order id.
     pub order_id: u64,

@@ -68,10 +68,15 @@ pub struct CloudService {
 impl CloudService {
     /// Creates a fresh cloud service.
     pub fn new() -> Self {
+        CloudService::with_shards(1)
+    }
+
+    /// Creates a fresh cloud service with a VDR sharded `shards` ways.
+    pub fn with_shards(shards: usize) -> Self {
         CloudService {
             portal: Portal::new(),
             app_store: AppStore::new(),
-            vdr: VirtualDroneRepository::new(),
+            vdr: VirtualDroneRepository::with_shards(shards),
             storage: CloudStorage::new(),
             billing: BillingLedger::new(),
             notifications: Vec::new(),

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use androne_container::ContainerArchive;
+use androne_simkern::StateHasher;
 use androne_vdc::VirtualDroneSpec;
 
 /// A stored virtual drone.
@@ -81,45 +82,171 @@ pub enum SaveReason {
     Interrupted,
 }
 
-/// The repository.
+/// One shard of the repository: an independent entry table, lease
+/// table, and save journal.
 #[derive(Debug, Default)]
-pub struct VirtualDroneRepository {
+struct VdrShard {
     entries: BTreeMap<String, SavedVirtualDrone>,
     /// Checked-out entries awaiting commit/abandon. Still owned by
-    /// the repository: a caller that dies mid-resume loses its lease,
-    /// not the customer's drone.
+    /// the shard: a caller that dies mid-resume loses its lease, not
+    /// the customer's drone.
     leased: BTreeMap<String, SavedVirtualDrone>,
+    /// Append-only record of every save: `(name, diff bytes)`. A
+    /// telescoping resume re-stores the same name each flight; the
+    /// superseded diffs are reclaimed by [`VirtualDroneRepository::compact`].
+    journal: Vec<(String, u64)>,
+    compacted_saves: u64,
+    reclaimed_bytes: u64,
+}
+
+impl VdrShard {
+    /// Folds this shard's durable state (entries and leases, in name
+    /// order) into a digest. Spec progress, allotment remainders, and
+    /// archive size are all covered, so two repositories agree iff
+    /// every stored drone agrees.
+    fn fold_digest(&self, h: &mut StateHasher) {
+        for (name, e) in &self.entries {
+            h.write_str(name);
+            fold_entry(h, e);
+        }
+        for (name, e) in &self.leased {
+            h.write_str("leased:");
+            h.write_str(name);
+            fold_entry(h, e);
+        }
+    }
+}
+
+fn fold_entry(h: &mut StateHasher, e: &SavedVirtualDrone) {
+    h.write_str(&e.owner);
+    h.write_u64(match e.reason {
+        SaveReason::Preconfigured => 0,
+        SaveReason::Completed => 1,
+        SaveReason::Interrupted => 2,
+    });
+    h.write_f64(e.remaining_energy_j);
+    h.write_f64(e.remaining_time_s);
+    h.write_u64(e.waypoints_completed as u64);
+    h.write_u64(u64::from(e.flights_flown));
+    h.write_u64(e.archive.stored_bytes());
+    h.write_str(&e.app_state);
+}
+
+/// A point-in-time view of one shard, for metrics and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    pub entries: usize,
+    pub leased: usize,
+    pub stored_bytes: u64,
+    pub journal_len: usize,
+    pub digest: u64,
+}
+
+/// What one [`VirtualDroneRepository::compact`] pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Superseded telescoped saves dropped from the journals.
+    pub compacted_saves: u64,
+    /// Diff bytes those saves pinned.
+    pub reclaimed_bytes: u64,
+}
+
+/// Aggregate repository statistics. Totals only — every field is
+/// invariant under the shard count (a partition of the same names
+/// sums to the same totals), so metrics built from them stay
+/// digest-identical across `shards` settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VdrStats {
+    pub shards: usize,
+    pub entries: usize,
+    pub leased: usize,
+    pub journal_entries: usize,
+    pub compacted_saves: u64,
+    pub reclaimed_bytes: u64,
+}
+
+/// The repository, sharded by FNV hash of the virtual-drone name.
+///
+/// Every public operation is keyed by name and routed to exactly one
+/// shard, so shards never coordinate; listings merge across shards in
+/// name order, which makes every observable result — and
+/// [`Self::digest`] — independent of the shard count.
+#[derive(Debug)]
+pub struct VirtualDroneRepository {
+    shards: Vec<VdrShard>,
+}
+
+impl Default for VirtualDroneRepository {
+    fn default() -> Self {
+        VirtualDroneRepository::new()
+    }
 }
 
 impl VirtualDroneRepository {
-    /// Creates an empty repository.
+    /// Creates an empty single-shard repository.
     pub fn new() -> Self {
-        VirtualDroneRepository::default()
+        VirtualDroneRepository::with_shards(1)
     }
 
-    /// Stores (or replaces) a virtual drone.
+    /// Creates an empty repository with `shards` shards (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        VirtualDroneRepository {
+            shards: (0..n).map(|_| VdrShard::default()).collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic name → shard routing (FNV-1a via the sim state
+    /// hasher; no process-seeded hashing anywhere near here).
+    fn shard_index(&self, name: &str) -> usize {
+        let mut h = StateHasher::new();
+        h.write_str(name);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, name: &str) -> &VdrShard {
+        let i = self.shard_index(name);
+        &self.shards[i]
+    }
+
+    fn shard_mut(&mut self, name: &str) -> &mut VdrShard {
+        let i = self.shard_index(name);
+        &mut self.shards[i]
+    }
+
+    /// Stores (or replaces) a virtual drone, journaling the save.
     pub fn store(&mut self, saved: SavedVirtualDrone) {
-        self.entries.insert(saved.name.clone(), saved);
+        let shard = self.shard_mut(&saved.name);
+        shard
+            .journal
+            .push((saved.name.clone(), saved.archive.stored_bytes()));
+        shard.entries.insert(saved.name.clone(), saved);
     }
 
     /// Retrieves a virtual drone by name.
     pub fn get(&self, name: &str) -> Option<&SavedVirtualDrone> {
-        self.entries.get(name)
+        self.shard(name).entries.get(name)
     }
 
     /// Checks out a virtual drone for reinstatement. The caller gets
-    /// a copy to deploy from; the entry moves to the lease table and
-    /// is no longer visible to `get`/listings until [`Self::commit`]
-    /// (resume succeeded; drop the old copy) or [`Self::abandon`]
-    /// (resume failed; put it back) resolves the lease. A name
-    /// already leased cannot be checked out again.
+    /// a copy to deploy from; the entry moves to its shard's lease
+    /// table and is no longer visible to `get`/listings until
+    /// [`Self::commit`] (resume succeeded; drop the old copy) or
+    /// [`Self::abandon`] (resume failed; put it back) resolves the
+    /// lease. A name already leased cannot be checked out again.
     pub fn checkout(&mut self, name: &str) -> Option<SavedVirtualDrone> {
-        if self.leased.contains_key(name) {
+        let shard = self.shard_mut(name);
+        if shard.leased.contains_key(name) {
             return None;
         }
-        let entry = self.entries.remove(name)?;
+        let entry = shard.entries.remove(name)?;
         let copy = entry.clone();
-        self.leased.insert(name.to_string(), entry);
+        shard.leased.insert(name.to_string(), entry);
         Some(copy)
     }
 
@@ -128,48 +255,164 @@ impl VirtualDroneRepository {
     /// the leased original is dropped. Returns whether a lease
     /// existed.
     pub fn commit(&mut self, name: &str) -> bool {
-        self.leased.remove(name).is_some()
+        self.shard_mut(name).leased.remove(name).is_some()
     }
 
     /// Resolves a lease after a failed resume: the original entry
-    /// returns to the repository untouched. Returns whether a lease
+    /// returns to its shard untouched. Returns whether a lease
     /// existed.
     pub fn abandon(&mut self, name: &str) -> bool {
-        match self.leased.remove(name) {
+        let shard = self.shard_mut(name);
+        match shard.leased.remove(name) {
             Some(entry) => {
-                self.entries.insert(name.to_string(), entry);
+                shard.entries.insert(name.to_string(), entry);
                 true
             }
             None => false,
         }
     }
 
-    /// Names currently checked out and unresolved.
+    /// Names currently checked out and unresolved, in name order
+    /// across shards.
     pub fn leased_names(&self) -> Vec<&str> {
-        self.leased.keys().map(String::as_str).collect()
+        let mut names: Vec<&str> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.leased.keys().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names
     }
 
-    /// Lists a user's stored virtual drones.
+    /// Lists a user's stored virtual drones, in name order across
+    /// shards.
     pub fn list_for(&self, owner: &str) -> Vec<&SavedVirtualDrone> {
-        self.entries.values().filter(|e| e.owner == owner).collect()
+        let mut out: Vec<&SavedVirtualDrone> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entries.values().filter(|e| e.owner == owner))
+            .collect();
+        out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
-    /// Virtual drones awaiting resumption.
+    /// Virtual drones awaiting resumption, in name order across
+    /// shards.
     pub fn interrupted(&self) -> Vec<&SavedVirtualDrone> {
-        self.entries
-            .values()
-            .filter(|e| e.reason == SaveReason::Interrupted)
-            .collect()
+        let mut out: Vec<&SavedVirtualDrone> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entries.values().filter(|e| e.reason == SaveReason::Interrupted))
+            .collect();
+        out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Total bytes stored (diffs only; base layers live once on each
     /// drone). Leased entries still count — they are not gone.
     pub fn stored_bytes(&self) -> u64 {
-        self.entries
-            .values()
-            .chain(self.leased.values())
+        self.shards
+            .iter()
+            .flat_map(|s| s.entries.values().chain(s.leased.values()))
             .map(|e| e.archive.stored_bytes())
             .sum()
+    }
+
+    /// Compacts every shard's save journal: for each name, only the
+    /// most recent save of a still-stored drone is retained; every
+    /// superseded (telescoped) save is dropped and its diff bytes
+    /// counted as reclaimed. Returns what this pass reclaimed.
+    pub fn compact(&mut self) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        for shard in &mut self.shards {
+            let mut dropped_saves = 0u64;
+            let mut dropped_bytes = 0u64;
+            let mut kept: Vec<(String, u64)> = Vec::new();
+            let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+            // Walk newest-first so the latest save per name wins.
+            let journal = std::mem::take(&mut shard.journal);
+            for (name, bytes) in journal.iter().rev() {
+                let live =
+                    shard.entries.contains_key(name) || shard.leased.contains_key(name);
+                if live && !seen.contains_key(name.as_str()) {
+                    seen.insert(name, ());
+                    kept.push((name.clone(), *bytes));
+                } else {
+                    dropped_saves += 1;
+                    dropped_bytes += bytes;
+                }
+            }
+            kept.reverse();
+            shard.journal = kept;
+            shard.compacted_saves += dropped_saves;
+            shard.reclaimed_bytes += dropped_bytes;
+            report.compacted_saves += dropped_saves;
+            report.reclaimed_bytes += dropped_bytes;
+        }
+        report
+    }
+
+    /// Point-in-time per-shard snapshots (metrics and tests; the
+    /// shard-local digests are *not* shard-count invariant — use
+    /// [`Self::digest`] for cross-configuration comparison).
+    pub fn snapshot(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut h = StateHasher::new();
+                s.fold_digest(&mut h);
+                ShardSnapshot {
+                    shard: i,
+                    entries: s.entries.len(),
+                    leased: s.leased.len(),
+                    stored_bytes: s
+                        .entries
+                        .values()
+                        .chain(s.leased.values())
+                        .map(|e| e.archive.stored_bytes())
+                        .sum(),
+                    journal_len: s.journal.len(),
+                    digest: h.finish(),
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate totals across shards (shard-count invariant).
+    pub fn stats(&self) -> VdrStats {
+        let mut st = VdrStats {
+            shards: self.shards.len(),
+            ..VdrStats::default()
+        };
+        for s in &self.shards {
+            st.entries += s.entries.len();
+            st.leased += s.leased.len();
+            st.journal_entries += s.journal.len();
+            st.compacted_saves += s.compacted_saves;
+            st.reclaimed_bytes += s.reclaimed_bytes;
+        }
+        st
+    }
+
+    /// Digest of the full repository contents, folded in global name
+    /// order — identical for any shard count holding the same drones.
+    pub fn digest(&self) -> u64 {
+        let mut entries: Vec<(&String, &SavedVirtualDrone, bool)> = Vec::new();
+        for s in &self.shards {
+            entries.extend(s.entries.iter().map(|(n, e)| (n, e, false)));
+            entries.extend(s.leased.iter().map(|(n, e)| (n, e, true)));
+        }
+        entries.sort_unstable_by(|a, b| (a.0, a.2).cmp(&(b.0, b.2)));
+        let mut h = StateHasher::new();
+        for (name, e, leased) in entries {
+            if leased {
+                h.write_str("leased:");
+            }
+            h.write_str(name);
+            fold_entry(&mut h, e);
+        }
+        h.finish()
     }
 }
 

@@ -45,7 +45,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use androne_cloud::{FallibleCloud, PlacedOrder, SaveReason, SavedVirtualDrone};
+use androne_cloud::{
+    AdmissionConfig, AdmissionQueue, FallibleCloud, PlacedOrder, SaveReason, SavedVirtualDrone,
+};
 use androne_hal::GeoPoint;
 use androne_obs::{MetricsRegistry, ObsHandle, Subsystem, TraceSegment};
 use androne_planner::FlightPlan;
@@ -616,14 +618,119 @@ fn run_island(item: PlanWork, panic_flight: Option<usize>) -> Result<IslandVerdi
     })))
 }
 
+/// The single entry point for fleet runs: configuration plus
+/// optional riders, built fluently and executed with [`Self::run`].
+///
+/// ```ignore
+/// let outcome = FleetSpec::new(cfg)
+///     .threads(4)
+///     .faults(plan)
+///     .attacks(attack_plan)
+///     .admission(AdmissionConfig::batched(64, 4096))
+///     .vdr_shards(4)
+///     .run()?;
+/// ```
+///
+/// The legacy free functions ([`execute_fleet`],
+/// [`execute_fleet_attacked`], [`execute_fleet_with_worker_chaos`])
+/// remain as thin deprecated wrappers; a spec with no riders is
+/// byte-identical to them — every pinned chaos/attack/pool digest
+/// holds through either door.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    cfg: FleetConfig,
+    faults: FleetFaultPlan,
+    attacks: FleetAttackPlan,
+    panic_flight: Option<usize>,
+    admission: Option<AdmissionConfig>,
+    vdr_shards: usize,
+}
+
+impl FleetSpec {
+    /// A spec with no riders: no faults, no attacks, no chaos, the
+    /// legacy admit-everything admission, one VDR shard.
+    pub fn new(cfg: FleetConfig) -> Self {
+        FleetSpec {
+            cfg,
+            faults: FleetFaultPlan::empty(),
+            attacks: FleetAttackPlan::none(),
+            panic_flight: None,
+            admission: None,
+            vdr_shards: 1,
+        }
+    }
+
+    /// Worker threads for the fly phase (any width is
+    /// digest-identical; 0/1 run sequentially).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Drone- and cloud-side fault plan.
+    pub fn faults(mut self, faults: FleetFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adversarial-tenant attack plan (with its enforcement posture).
+    pub fn attacks(mut self, attacks: FleetAttackPlan) -> Self {
+        self.attacks = attacks;
+        self
+    }
+
+    /// Chaos hook: panic the worker running global flight index
+    /// `flight`, proving containment.
+    pub fn chaos_panic_at(mut self, flight: usize) -> Self {
+        self.panic_flight = Some(flight);
+        self
+    }
+
+    /// Batched admission: pending tenants queue in per-tenant FIFO
+    /// lanes and at most `cfg.admit_per_wave` are planned per wave
+    /// (round-robin, starvation-free). `None` (the default) admits
+    /// every pending tenant every wave — the legacy behaviour.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(cfg);
+        self
+    }
+
+    /// Shards the cloud's Virtual Drone Repository `shards` ways
+    /// (deterministic FNV of the drone name). Any shard count is
+    /// digest-identical to `1`.
+    pub fn vdr_shards(mut self, shards: usize) -> Self {
+        self.vdr_shards = shards.max(1);
+        self
+    }
+
+    /// The configuration as currently built.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Executes the run to quiescence. Reusable: `run` borrows the
+    /// spec, so one spec can drive a whole thread/shard matrix.
+    pub fn run(&self) -> Result<FleetOutcome, DroneError> {
+        execute_fleet_inner(
+            &self.cfg,
+            &self.faults,
+            &self.attacks,
+            self.panic_flight,
+            self.admission,
+            self.vdr_shards,
+        )
+    }
+}
+
 /// Runs the full order → plan → fly → save/resume → refund lifecycle
 /// for `cfg.tenants` under `faults`. See the module docs for the
 /// wave structure and determinism contract.
+#[deprecated(note = "use FleetSpec::new(cfg).faults(plan).run()")]
 pub fn execute_fleet(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
 ) -> Result<FleetOutcome, DroneError> {
-    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), None)
+    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), None, None, 1)
 }
 
 /// [`execute_fleet`] with adversarial tenants aboard: each flight in
@@ -631,25 +738,26 @@ pub fn execute_fleet(
 /// [`AttackInjector`](crate::attack::AttackInjector) under the plan's
 /// enforcement posture, with an
 /// [`RtMonitor`](crate::attack::RtMonitor) watching the fast loop.
-/// The adversarial gate's entry point.
+#[deprecated(note = "use FleetSpec::new(cfg).faults(plan).attacks(attacks).run()")]
 pub fn execute_fleet_attacked(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
     attacks: &FleetAttackPlan,
 ) -> Result<FleetOutcome, DroneError> {
-    execute_fleet_inner(cfg, faults, attacks, None)
+    execute_fleet_inner(cfg, faults, attacks, None, None, 1)
 }
 
 /// Test hook: [`execute_fleet`] with a worker panic injected at one
 /// flight index, proving panic containment (the flight scraps, its
 /// tenants defer, the run completes). Not part of the public API.
 #[doc(hidden)]
+#[deprecated(note = "use FleetSpec::new(cfg).faults(plan).chaos_panic_at(i).run()")]
 pub fn execute_fleet_with_worker_chaos(
     cfg: &FleetConfig,
     faults: &FleetFaultPlan,
     panic_flight: Option<usize>,
 ) -> Result<FleetOutcome, DroneError> {
-    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), panic_flight)
+    execute_fleet_inner(cfg, faults, &FleetAttackPlan::none(), panic_flight, None, 1)
 }
 
 fn execute_fleet_inner(
@@ -657,10 +765,16 @@ fn execute_fleet_inner(
     faults: &FleetFaultPlan,
     attacks: &FleetAttackPlan,
     panic_flight: Option<usize>,
+    admission: Option<AdmissionConfig>,
+    vdr_shards: usize,
 ) -> Result<FleetOutcome, DroneError> {
     let pool = WorkerPool::new(cfg.threads);
     let mut fleet_metrics = MetricsRegistry::new();
-    let mut cloud = FallibleCloud::new();
+    let mut cloud = FallibleCloud::with_shards(vdr_shards.max(1));
+    // Tenant-name lanes for batched admission; `None` = legacy
+    // admit-everything (no queue state, no new metrics, bit-identical
+    // to the pre-admission executor).
+    let mut admission_queue: Option<AdmissionQueue<()>> = admission.map(AdmissionQueue::new);
     // Cloud-side observability: one attached handle for the whole
     // run, stamped to wave boundaries (1 simulated second per wave)
     // so degraded-mode trace records order by wave.
@@ -710,7 +824,40 @@ fn execute_fleet_inner(
         let mut orders: Vec<PlacedOrder> = Vec::new();
         let mut saved_map: BTreeMap<String, SavedVirtualDrone> = BTreeMap::new();
         let mut refunds: Vec<(String, String, f64)> = Vec::new();
-        for (name, st) in states.iter_mut() {
+        // Batched admission gate. Every unresolved tenant whose lane
+        // is empty (re-)enqueues, then the admitter releases this
+        // wave's batch round-robin across lanes. Without an admission
+        // config the candidate list is all unresolved tenants in name
+        // order — exactly the legacy `states` iteration.
+        let candidates: Vec<String> = match admission_queue.as_mut() {
+            None => states
+                .iter()
+                .filter(|(_, s)| s.resolution.is_none())
+                .map(|(n, _)| n.clone())
+                .collect(),
+            Some(queue) => {
+                for (name, st) in states.iter() {
+                    if st.resolution.is_none() && queue.lane_pending(name) == 0 {
+                        match queue.enqueue(name, (), wave) {
+                            Ok(_) => cloud_obs.count("admission.enqueued", 1),
+                            Err((e, ())) => {
+                                cloud_obs.count("admission.backpressure", 1);
+                                cloud.log.push(format!("wave {wave}: {name}: {e}"));
+                            }
+                        }
+                    }
+                }
+                cloud_obs.gauge_max("admission.depth_peak", queue.peak_depth() as f64);
+                let batch: Vec<String> =
+                    queue.admit().into_iter().map(|a| a.lane).collect();
+                cloud_obs.count("admission.admitted", batch.len() as u64);
+                batch
+            }
+        };
+        for name in &candidates {
+            let Some(st) = states.get_mut(name) else {
+                continue;
+            };
             if st.resolution.is_some() {
                 continue;
             }

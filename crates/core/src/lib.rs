@@ -33,6 +33,7 @@ pub mod injector;
 pub mod pool;
 pub mod probe;
 pub mod sanitizer;
+pub mod scale;
 
 pub use adaptive::AdaptiveInjector;
 pub use androne::Androne;
@@ -42,15 +43,21 @@ pub use attack::{
 };
 pub use drone::{DeployedVdrone, Drone, DroneError, ANDROID_THINGS_IMAGE, FLIGHT_IMAGE};
 pub use fleet::{
-    execute_fleet, execute_fleet_attacked, FleetAttackPlan, FleetConfig, FleetOutcome,
-    FleetTenant, FlightRecord, TenantOutcome, TenantResolution,
+    FleetAttackPlan, FleetConfig, FleetOutcome, FleetSpec, FleetTenant, FlightRecord,
+    TenantOutcome, TenantResolution,
 };
+#[allow(deprecated)]
+pub use fleet::{execute_fleet, execute_fleet_attacked};
 pub use flight_exec::{
     execute_flight, execute_flight_probed, AbortCheck, EndReason, FlightLog, FlightOutcome,
 };
 pub use injector::FaultInjector;
 pub use pool::{WorkerError, WorkerPool};
 pub use probe::{DigestProbe, FlightProbe, FlightRecorder, FnProbe, NoProbe, ProbeStack};
+pub use scale::{
+    execute_scale_fleet, ScaleConfig, ScaleFlightRecord, ScaleOutcome, ScaleResolution,
+    ScaleTenantOutcome,
+};
 pub use sanitizer::{
     first_divergence, first_divergence_verbose, trace_flight, trace_flight_perturbed,
     trace_flight_with, Divergence, TickHashes, Trace, Verbosity, VerboseDivergence,

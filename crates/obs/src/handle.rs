@@ -97,6 +97,12 @@ impl ObsHandle {
         let _ = self.with(|o| o.metrics.gauge_set(name, v));
     }
 
+    /// Raises gauge `name` to `v` if `v` exceeds its current value
+    /// (high-water mark).
+    pub fn gauge_max(&self, name: &'static str, v: f64) {
+        let _ = self.with(|o| o.metrics.gauge_max(name, v));
+    }
+
     /// Records `v` into histogram `name` with the given bounds.
     pub fn observe(&self, name: &'static str, bounds: &'static [u64], v: u64) {
         let _ = self.with(|o| o.metrics.observe(name, bounds, v));

@@ -204,6 +204,16 @@ impl MetricsRegistry {
         self.gauges.insert(name, v);
     }
 
+    /// Raises the gauge `name` to `v` if `v` exceeds its current
+    /// value (creating it at `v`) — a high-water mark, e.g. peak
+    /// admission-queue depth.
+    pub fn gauge_max(&mut self, name: &'static str, v: f64) {
+        let e = self.gauges.entry(name).or_insert(v);
+        if v > *e {
+            *e = v;
+        }
+    }
+
     /// Records `v` into the histogram `name`. The first call pins
     /// `bounds`; later calls reuse the pinned bounds (passing
     /// different bounds for the same name is a programming error and

@@ -12,16 +12,21 @@
 //! - [`constraints`]: waypoint ordering and grouping — the paper's
 //!   stated future work, implemented as an extension
 //!   ([`vrp::VrpProblem::solve_constrained`]).
+//! - [`binpack`]: deterministic first-fit packing of an admitted
+//!   order batch onto a large simulated fleet — the cheap shape for
+//!   thousand-tenant waves where per-waypoint annealing is overkill.
 //! - [`mission`]: solved routes turned into executable flight plans
 //!   with ETAs and operating windows.
 //! - [`pilot`]: the autonomous waypoint pilot with per-waypoint
 //!   energy/time allotment enforcement.
 
+pub mod binpack;
 pub mod constraints;
 pub mod mission;
 pub mod pilot;
 pub mod vrp;
 
+pub use binpack::{bin_pack, PackItem, PackedFlight, Packing};
 pub use constraints::{ConstraintViolation, RouteConstraints};
 pub use mission::{FlightPlan, Leg};
 pub use pilot::{Autopilot, PilotEvent, PILOT_CLIENT};

@@ -14,7 +14,7 @@ pub mod sdk;
 pub use cli::run_command;
 pub use listener::{RecordingListener, WaypointListener};
 pub use retry::{
-    get_service_with_retry, retry_with_backoff, transact_with_retry, RetryError, RetryFailure,
-    RetryPolicy,
+    get_service_with_retry, retry_with_backoff, submit_with_backpressure, transact_with_retry,
+    Backpressure, RetryError, RetryFailure, RetryPolicy, SubmitError,
 };
 pub use sdk::AndroneSdk;

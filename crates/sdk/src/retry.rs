@@ -107,6 +107,63 @@ pub fn retry_with_backoff<T, E>(
     }
 }
 
+/// A wave-granular backpressure signal. Admission-controlled services
+/// (the cloud order queue) reject submissions with an error carrying
+/// the earliest wave a retry can succeed at; clients use
+/// [`submit_with_backpressure`] to wait out exactly that many waves
+/// instead of hammering the queue.
+pub trait Backpressure {
+    /// The earliest wave at which a retry can be admitted, or `None`
+    /// when the error is not a backpressure rejection (give up).
+    fn retry_wave(&self) -> Option<u64>;
+}
+
+/// The typed failure of a backpressured submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError<E> {
+    /// A non-backpressure rejection, surfaced immediately.
+    Rejected(E),
+    /// Still backpressured after waiting through `waves_waited` waves.
+    Exhausted { waves_waited: u64, last: E },
+}
+
+/// Submits under wave-granular backpressure: calls `submit(wave)`
+/// starting at `start_wave`; on a backpressure rejection it skips
+/// forward to the error's advertised retry wave (invoking `on_wait`
+/// with each intervening wave so callers can advance simulated time)
+/// and tries again. Gives up once more than `max_wait_waves` waves
+/// have been waited in total. Deterministic: the wave schedule is a
+/// pure function of the rejections seen.
+pub fn submit_with_backpressure<T, E: Backpressure>(
+    start_wave: u64,
+    max_wait_waves: u64,
+    mut submit: impl FnMut(u64) -> Result<T, E>,
+    on_wait: &mut dyn FnMut(u64),
+) -> Result<(T, u64), SubmitError<E>> {
+    let mut wave = start_wave;
+    let mut waited = 0u64;
+    loop {
+        match submit(wave) {
+            Ok(v) => return Ok((v, wave)),
+            Err(e) => {
+                let Some(retry) = e.retry_wave() else {
+                    return Err(SubmitError::Rejected(e));
+                };
+                // A retry wave in the past still costs one wave.
+                let next = retry.max(wave + 1);
+                waited += next - wave;
+                if waited > max_wait_waves {
+                    return Err(SubmitError::Exhausted { waves_waited: waited, last: e });
+                }
+                while wave < next {
+                    wave += 1;
+                    on_wait(wave);
+                }
+            }
+        }
+    }
+}
+
 /// Whether an error class can plausibly clear on retry: transient
 /// transaction failures, timeouts, a service not (re)registered yet,
 /// or a remote that died and is being supervised back up.
@@ -271,6 +328,45 @@ mod tests {
             &mut |_| {},
         );
         assert_eq!(out, Err(RetryFailure::Exhausted { attempts: 2, last: E::Transient }));
+    }
+
+    #[test]
+    fn submit_waits_out_advertised_retry_waves() {
+        #[derive(Debug, PartialEq, Eq, Clone)]
+        struct Bp(Option<u64>);
+        impl Backpressure for Bp {
+            fn retry_wave(&self) -> Option<u64> {
+                self.0
+            }
+        }
+        // Rejected at waves 0 and 3 with retry targets 3 and 5;
+        // admitted at wave 5.
+        let mut waited = Vec::new();
+        let out = submit_with_backpressure(
+            0,
+            10,
+            |wave| match wave {
+                0 => Err(Bp(Some(3))),
+                3 => Err(Bp(Some(5))),
+                w => Ok(w * 10),
+            },
+            &mut |w| waited.push(w),
+        );
+        assert_eq!(out, Ok((50, 5)));
+        assert_eq!(waited, vec![1, 2, 3, 4, 5]);
+
+        // A non-backpressure rejection surfaces immediately.
+        let out: Result<(u32, u64), _> =
+            submit_with_backpressure(0, 10, |_| Err(Bp(None)), &mut |_| {});
+        assert_eq!(out, Err(SubmitError::Rejected(Bp(None))));
+
+        // The wait budget caps how long a client chases retry waves.
+        let out: Result<(u32, u64), _> =
+            submit_with_backpressure(0, 3, |w| Err::<u32, _>(Bp(Some(w + 2))), &mut |_| {});
+        assert_eq!(
+            out,
+            Err(SubmitError::Exhausted { waves_waited: 4, last: Bp(Some(4)) })
+        );
     }
 
     #[test]

@@ -10,6 +10,14 @@
 # both floors so results stay comparable across machines. This script
 # fails if the active floor did not hold.
 #
+# The bench then climbs the control-plane scaling ladder: 1k / 10k /
+# 100k synthetic tenants pushed through batched admission, the
+# sharded VDR, and the bin-packing planner to quiescence. The report's
+# `scaling_ladder` object records each rung's wall-clock order
+# throughput, p99 order->landing simulated latency, and peak queue
+# depth; the 10k rung must be bit-identical across shards 1/4 and
+# threads 1/4 and clear an absolute 10k orders/sec floor.
+#
 # Usage: scripts/fleet_bench.sh [scale]
 #   scale: ANDRONE_BENCH_SCALE value (default 5; higher = faster,
 #          noisier). Pass 1 for a full-fidelity run.
@@ -24,9 +32,13 @@ cargo build --release
 ANDRONE_BENCH_SCALE="$SCALE" ANDRONE_BENCH_OUT="$OUT" \
     cargo bench --bench fleet_throughput
 
+if ! grep -q '"scaling_ladder"' "$OUT"; then
+    echo "fleet bench FAIL: report has no scaling_ladder section (see $OUT)" >&2
+    exit 1
+fi
 if grep -q '"pass": true' "$OUT"; then
     echo "fleet bench PASS ($OUT)"
 else
-    echo "fleet bench FAIL: core-scaled speedup floor not met (see $OUT)" >&2
+    echo "fleet bench FAIL: speedup or scaling-ladder gate not met (see $OUT)" >&2
     exit 1
 fi

@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use androne::fleet::{
-    execute_fleet, execute_fleet_attacked, FleetAttackPlan, FleetConfig, FleetOutcome,
+    FleetAttackPlan, FleetConfig, FleetOutcome, FleetSpec,
     FleetTenant, TenantResolution,
 };
 use androne::hal::GeoPoint;
@@ -166,8 +166,8 @@ fn adaptive_fleet_holds_deadline_and_determinism() {
         };
         let label = format!("adaptive seed {seed:#x} ({} tenants)", cfg.tenants.len());
 
-        let a = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run");
-        let b = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("rerun");
+        let a = FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("run");
+        let b = FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("rerun");
         assert_eq!(a.fleet_digest(), b.fleet_digest(), "{label}: dual-run divergence");
         assert_eq!(
             a.metrics_digest(),
@@ -192,7 +192,7 @@ fn adaptive_fleet_holds_deadline_and_determinism() {
         for &t in &threads {
             let cfg_t = FleetConfig { threads: t, ..cfg.clone() };
             let run =
-                execute_fleet_attacked(&cfg_t, &FleetFaultPlan::empty(), &attacks).expect("run");
+                FleetSpec::new(cfg_t.clone()).attacks(attacks.clone()).run().expect("run");
             assert_eq!(
                 a.fleet_digest(),
                 run.fleet_digest(),
@@ -236,7 +236,7 @@ fn synchronized_collusion_breaches_per_tenant_defense_and_hardening_contains_it(
         defense: Some(AttackDefense::default()),
         ..FleetAttackPlan::none()
     };
-    let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &per_tenant_only)
+    let run = FleetSpec::new(cfg.clone()).attacks(per_tenant_only.clone()).run()
         .expect("run");
     let (samples, misses, max_us) = run.flights[0]
         .rt_deadline
@@ -274,7 +274,7 @@ fn synchronized_collusion_breaches_per_tenant_defense_and_hardening_contains_it(
         defense: Some(AttackDefense::hardened()),
         ..FleetAttackPlan::none()
     };
-    let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &hardened).expect("run");
+    let run = FleetSpec::new(cfg.clone()).attacks(hardened.clone()).run().expect("run");
     let (samples, misses, max_us) = run.flights[0].rt_deadline.expect("monitor rode the flight");
     assert!(samples > 0);
     assert_eq!(
@@ -316,7 +316,7 @@ fn empty_adaptive_plan_is_zero_work() {
         threads: 1,
     };
     let faults = FleetFaultPlan::empty();
-    let legacy = execute_fleet(&cfg, &faults).expect("legacy run");
+    let legacy = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("legacy run");
 
     let mut adaptive = BTreeMap::new();
     adaptive.insert(0usize, AdaptivePlan::empty());
@@ -326,7 +326,7 @@ fn empty_adaptive_plan_is_zero_work() {
         ..FleetAttackPlan::none()
     };
     assert!(armed_but_empty.is_empty());
-    let run = execute_fleet_attacked(&cfg, &faults, &armed_but_empty).expect("run");
+    let run = FleetSpec::new(cfg.clone()).faults(faults.clone()).attacks(armed_but_empty.clone()).run().expect("run");
     assert_eq!(legacy.fleet_digest(), run.fleet_digest());
     assert_eq!(legacy.metrics_digest(), run.metrics_digest());
     assert!(run.flights.iter().all(|f| f.rt_deadline.is_none()));

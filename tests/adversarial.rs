@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use androne::fleet::{
-    execute_fleet, execute_fleet_attacked, FleetAttackPlan, FleetConfig, FleetOutcome,
+    FleetAttackPlan, FleetConfig, FleetOutcome, FleetSpec,
     FleetTenant, TenantResolution,
 };
 use androne::hal::GeoPoint;
@@ -154,8 +154,8 @@ fn attacked_fleet_holds_deadline_and_determinism() {
         let label = format!("attack seed {seed:#x} ({} tenants)", cfg.tenants.len());
 
         // (c) dual-run bit-identity of the attacked run.
-        let a = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run");
-        let b = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("rerun");
+        let a = FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("run");
+        let b = FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("rerun");
         assert_eq!(a.fleet_digest(), b.fleet_digest(), "{label}: dual-run divergence");
         assert_eq!(
             a.metrics_digest(),
@@ -169,7 +169,7 @@ fn attacked_fleet_holds_deadline_and_determinism() {
             let threads: usize = width.parse().expect("ATTACK_THREADS entry");
             let mut tcfg = cfg.clone();
             tcfg.threads = threads;
-            let t = execute_fleet_attacked(&tcfg, &FleetFaultPlan::empty(), &attacks)
+            let t = FleetSpec::new(tcfg.clone()).attacks(attacks.clone()).run()
                 .expect("threaded run");
             assert_eq!(
                 a.fleet_digest(),
@@ -248,7 +248,7 @@ fn unenforced_flood_breaches_the_fast_loop_and_defense_restores_it() {
         defense: None,
         ..FleetAttackPlan::none()
     };
-    let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &unenforced).expect("run");
+    let run = FleetSpec::new(cfg.clone()).attacks(unenforced.clone()).run().expect("run");
     let (samples, misses, max_us) = run.flights[0]
         .rt_deadline
         .expect("the attacked flight carries the monitor");
@@ -268,7 +268,7 @@ fn unenforced_flood_breaches_the_fast_loop_and_defense_restores_it() {
         defense: Some(AttackDefense::default()),
         ..FleetAttackPlan::none()
     };
-    let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &defended).expect("run");
+    let run = FleetSpec::new(cfg.clone()).attacks(defended.clone()).run().expect("run");
     let (samples, misses, max_us) = run.flights[0].rt_deadline.expect("monitor rode the flight");
     assert!(samples > 0);
     assert_eq!(
@@ -353,7 +353,7 @@ fn escalation_ladder_walks_to_revocation_and_still_resolves() {
         }),
         ..FleetAttackPlan::none()
     };
-    let run = execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run");
+    let run = FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("run");
     let f = &run.flights[0];
     let ladder: Vec<&String> = f.injected.iter().filter(|l| l.contains("ladder")).collect();
     for rung in ["rate-halved", "suspended", "revoked"] {
@@ -383,8 +383,8 @@ fn escalation_ladder_walks_to_revocation_and_still_resolves() {
 fn empty_attack_plan_is_zero_work() {
     let cfg = gate_config(0xF1EE_5EED, 3);
     let faults = FleetFaultPlan::empty();
-    let legacy = execute_fleet(&cfg, &faults).expect("legacy run");
-    let attacked = execute_fleet_attacked(&cfg, &faults, &FleetAttackPlan::none()).expect("run");
+    let legacy = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("legacy run");
+    let attacked = FleetSpec::new(cfg.clone()).faults(faults.clone()).attacks(FleetAttackPlan::none()).run().expect("run");
     assert_eq!(legacy.fleet_digest(), attacked.fleet_digest());
     assert_eq!(legacy.metrics_digest(), attacked.metrics_digest());
 
@@ -399,7 +399,7 @@ fn empty_attack_plan_is_zero_work() {
         ..FleetAttackPlan::none()
     };
     assert!(armed_but_empty.is_empty());
-    let run = execute_fleet_attacked(&cfg, &faults, &armed_but_empty).expect("run");
+    let run = FleetSpec::new(cfg.clone()).faults(faults.clone()).attacks(armed_but_empty.clone()).run().expect("run");
     assert_eq!(legacy.fleet_digest(), run.fleet_digest());
     assert_eq!(legacy.metrics_digest(), run.metrics_digest());
     assert!(run.flights.iter().all(|f| f.rt_deadline.is_none()));
@@ -440,7 +440,7 @@ fn suspended_tenant_recovers_and_completes_after_going_quiet() {
             }),
             ..FleetAttackPlan::none()
         };
-        execute_fleet_attacked(&cfg, &FleetFaultPlan::empty(), &attacks).expect("run")
+        FleetSpec::new(cfg.clone()).attacks(attacks.clone()).run().expect("run")
     };
     let run = run_at(1);
     let f = &run.flights[0];

@@ -24,7 +24,7 @@
 //! release gate in `scripts/chaos.sh --fleet` runs the same count).
 
 use androne::android::DeviceClass;
-use androne::fleet::{execute_fleet, FleetConfig, FleetOutcome, FleetTenant, TenantResolution};
+use androne::fleet::{FleetConfig, FleetOutcome, FleetSpec, FleetTenant, TenantResolution};
 use androne::hal::GeoPoint;
 use androne::mavlink::{deg_to_e7, Message};
 use androne::sanitizer::{TickHashes, Trace};
@@ -222,8 +222,8 @@ fn fleet_gate_holds_invariants_across_generated_plans() {
         );
 
         // (a) dual-run bit-identity of the full faulted run.
-        let a = execute_fleet(&cfg, &faults).expect("fleet run");
-        let b = execute_fleet(&cfg, &faults).expect("fleet rerun");
+        let a = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("fleet run");
+        let b = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("fleet rerun");
         assert_eq!(
             a.fleet_digest(),
             b.fleet_digest(),
@@ -241,7 +241,7 @@ fn fleet_gate_holds_invariants_across_generated_plans() {
             let threads: usize = width.parse().expect("FLEET_CHAOS_THREADS entry");
             let mut tcfg = cfg.clone();
             tcfg.threads = threads;
-            let t = execute_fleet(&tcfg, &faults).expect("threaded fleet run");
+            let t = FleetSpec::new(tcfg.clone()).faults(faults.clone()).run().expect("threaded fleet run");
             assert_eq!(
                 a.fleet_digest(),
                 t.fleet_digest(),
@@ -267,7 +267,7 @@ fn fleet_gate_holds_invariants_across_generated_plans() {
         // outcome bits against the no-fault baseline. If the
         // generated plan crashed nobody, synthesize a victim so the
         // invariant is never vacuous.
-        let baseline = execute_fleet(&cfg, &FleetFaultPlan::empty()).expect("baseline run");
+        let baseline = FleetSpec::new(cfg.clone()).run().expect("baseline run");
         assert_run_invariants(&cfg, &baseline, &format!("{label} [baseline]"));
         let mut crash = faults.crash_only();
         if crash.is_empty() {
@@ -282,7 +282,7 @@ fn fleet_gate_holds_invariants_across_generated_plans() {
                 }],
             }];
         }
-        let crashed = execute_fleet(&cfg, &crash).expect("crash-only run");
+        let crashed = FleetSpec::new(cfg.clone()).faults(crash.clone()).run().expect("crash-only run");
         assert_run_invariants(&cfg, &crashed, &format!("{label} [crash-only]"));
         let victims = crash.crash_targets();
         assert!(!victims.is_empty(), "{label}: no crash victim to contain");
@@ -357,7 +357,7 @@ fn portal_outage_defers_the_wave_and_orders_still_complete() {
             disarm_wave: 1,
         }],
     };
-    let run = execute_fleet(&cfg, &faults).expect("fleet run");
+    let run = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("fleet run");
     assert_run_invariants(&cfg, &run, "portal outage");
     assert!(run.waves_run >= 2, "the outage consumed wave 0");
     assert!(
@@ -412,7 +412,7 @@ fn link_partition_interrupts_then_vdr_heals_and_the_drone_resumes() {
             disarm_wave: 2,
         }],
     };
-    let run = execute_fleet(&cfg, &faults).expect("fleet run");
+    let run = FleetSpec::new(cfg.clone()).faults(faults.clone()).run().expect("fleet run");
     assert_run_invariants(&cfg, &run, "link partition resume");
 
     let t = &run.tenants["vd1"];

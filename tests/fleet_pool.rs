@@ -12,9 +12,9 @@
 //!   and defers its tenants; the run completes and every other
 //!   tenant resolves normally, at every thread count.
 
-use androne::fleet::{
-    execute_fleet, execute_fleet_with_worker_chaos, FleetConfig, FleetTenant, TenantResolution,
-};
+use androne::fleet::{FleetConfig, FleetSpec, FleetTenant, TenantResolution};
+#[allow(deprecated)]
+use androne::fleet::{execute_fleet, execute_fleet_with_worker_chaos};
 use androne::hal::GeoPoint;
 use androne::pool::{WorkerError, WorkerPool};
 use androne::simkern::FleetFaultPlan;
@@ -99,13 +99,13 @@ fn single_thread_reproduces_the_pre_pool_digests() {
         let tenant_names: Vec<String> = cfg.tenants.iter().map(|t| t.vd_name.clone()).collect();
         let faults = FleetFaultPlan::generate(seed, 3, &tenant_names, 150);
 
-        let faulted = execute_fleet(&cfg, &faults).expect("faulted run");
+        let faulted = FleetSpec::new(cfg.clone()).faults(faults).run().expect("faulted run");
         assert_eq!(
             faulted.fleet_digest(),
             faulted_pin,
             "gate {i}: threads=1 faulted digest drifted from the sequential pin"
         );
-        let baseline = execute_fleet(&cfg, &FleetFaultPlan::empty()).expect("baseline run");
+        let baseline = FleetSpec::new(cfg).run().expect("baseline run");
         assert_eq!(
             baseline.fleet_digest(),
             baseline_pin,
@@ -123,7 +123,9 @@ fn single_thread_reproduces_the_pre_pool_digests() {
 fn worker_panic_is_contained_at_every_width() {
     for threads in [1usize, 4] {
         let cfg = gate_config(0xF1EE_5EED, 3, threads);
-        let run = execute_fleet_with_worker_chaos(&cfg, &FleetFaultPlan::empty(), Some(0))
+        let run = FleetSpec::new(cfg)
+            .chaos_panic_at(0)
+            .run()
             .expect("run must survive a panicking island");
         // Flight index 0 never settles (every island assigned index
         // 0 panics), so no flight ever flies and every wave scraps.
@@ -155,10 +157,10 @@ fn worker_panic_is_contained_at_every_width() {
 #[test]
 fn panic_past_the_first_flight_spares_the_flown_tenants() {
     let cfg = gate_config(0xF1EE_5EED, 3, 4);
-    let clean = execute_fleet(&cfg, &FleetFaultPlan::empty()).expect("clean run");
+    let spec = FleetSpec::new(cfg);
+    let clean = spec.run().expect("clean run");
     assert!(clean.flights.len() >= 2, "scenario must plan multiple flights");
-    let chaos = execute_fleet_with_worker_chaos(&cfg, &FleetFaultPlan::empty(), Some(1))
-        .expect("run must survive");
+    let chaos = spec.clone().chaos_panic_at(1).run().expect("run must survive");
     // Flight 0 flies in both runs with identical bits (same seed,
     // same index — the panic at index 1 cannot reach back).
     assert!(!chaos.flights.is_empty(), "flight 0 should still fly");
@@ -176,14 +178,20 @@ fn panic_past_the_first_flight_spares_the_flown_tenants() {
     }
 }
 
-/// The chaos hook with no panic index is exactly `execute_fleet`.
+/// The deprecated doors are the plain executor: `execute_fleet`,
+/// the chaos hook with no panic index, and a riderless `FleetSpec`
+/// all produce identical bits.
 #[test]
+#[allow(deprecated)]
 fn chaos_hook_with_no_panic_is_the_plain_executor() {
     let cfg = gate_config(0xF1EE_5EED, 3, 2);
     let a = execute_fleet(&cfg, &FleetFaultPlan::empty()).expect("plain");
     let b = execute_fleet_with_worker_chaos(&cfg, &FleetFaultPlan::empty(), None).expect("hook");
+    let c = FleetSpec::new(cfg).run().expect("spec");
     assert_eq!(a.fleet_digest(), b.fleet_digest());
     assert_eq!(a.metrics_digest(), b.metrics_digest());
+    assert_eq!(a.fleet_digest(), c.fleet_digest());
+    assert_eq!(a.metrics_digest(), c.metrics_digest());
 }
 
 /// Completion order is deliberately scrambled with real sleeps:
